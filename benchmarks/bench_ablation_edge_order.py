@@ -1,0 +1,22 @@
+"""Ablation: descending-cost edge priority (paper Section 4.2) vs source-id order.
+
+The paper argues big transfers should reserve routes and slots first because
+small ones can still squeeze into remaining gaps, but not vice versa.
+"""
+
+from repro.experiments.ablations import run_ablation
+
+
+def test_ablation_edge_order(benchmark, homo_config, report_sink):
+    result = benchmark.pedantic(
+        run_ablation,
+        args=("edge_order", homo_config),
+        kwargs={"ccr": 2.0, "n_procs": 16},
+        iterations=1,
+        rounds=1,
+    )
+    imp = result.improvements["descending-cost"]
+    report_sink.append(
+        f"ablation edge order: descending-cost vs source-id = {imp:+.1f}% makespan"
+    )
+    assert imp > -10.0

@@ -1,0 +1,24 @@
+"""Ablation: modified (contention-aware Dijkstra) routing vs BFS routing.
+
+Holds everything else fixed (basic insertion, source-id edge order, MLS
+placement) and toggles only the routing policy — how much of OIHSA's win is
+the load-adaptive route choice alone?
+"""
+
+from repro.experiments.ablations import run_ablation
+
+
+def test_ablation_routing(benchmark, homo_config, report_sink):
+    result = benchmark.pedantic(
+        run_ablation,
+        args=("routing", homo_config),
+        kwargs={"ccr": 2.0, "n_procs": 16},
+        iterations=1,
+        rounds=1,
+    )
+    imp = result.improvements["modified-routing"]
+    report_sink.append(
+        f"ablation routing: modified routing vs BFS = {imp:+.1f}% makespan"
+    )
+    # Load-adaptive routing must not lose badly to static BFS on a WAN.
+    assert imp > -10.0

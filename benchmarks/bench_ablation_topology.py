@@ -1,0 +1,59 @@
+"""Ablation: how the improvement over BA varies across topology families.
+
+The paper evaluates only its random WAN; this bench re-runs the comparison
+on classic interconnects.  Expectation: contention-aware routing matters
+most where routing *choices* exist (WAN, hypercube, torus, fat-tree) and
+least where there is a single path (star/cluster) or a single resource
+(bus) — there only insertion/bandwidth quality differentiates.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import SCHEDULERS
+from repro.network.builders import (
+    fat_tree,
+    hypercube,
+    random_wan,
+    shared_bus,
+    switched_cluster,
+    torus2d,
+)
+from repro.taskgraph.ccr import scale_to_ccr
+from repro.taskgraph.generators import random_layered_dag
+
+TOPOLOGIES = {
+    "random_wan": lambda rng: random_wan(16, rng=rng),
+    "switched_cluster": lambda rng: switched_cluster(16, rng=rng),
+    "torus2d": lambda rng: torus2d(4, 4, rng=rng),
+    "hypercube": lambda rng: hypercube(4, rng=rng),
+    "fat_tree": lambda rng: fat_tree(16, rng=rng),
+    "shared_bus": lambda rng: shared_bus(16, rng=rng),
+}
+
+
+def _improvements(build, reps=4, ccr=2.0):
+    out = {"oihsa": [], "bbsa": []}
+    for rep in range(reps):
+        graph = scale_to_ccr(random_layered_dag(50, rng=1000 + rep, density=0.05), ccr)
+        net = build(2000 + rep)
+        ba = SCHEDULERS["ba"]().schedule(graph, net).makespan
+        for algo in ("oihsa", "bbsa"):
+            m = SCHEDULERS[algo]().schedule(graph, net).makespan
+            out[algo].append(100.0 * (ba - m) / ba)
+    return {k: float(np.mean(v)) for k, v in out.items()}
+
+
+@pytest.mark.parametrize("topo", sorted(TOPOLOGIES))
+def test_ablation_topology(benchmark, topo, report_sink):
+    result = benchmark.pedantic(
+        _improvements, args=(TOPOLOGIES[topo],), iterations=1, rounds=1
+    )
+    report_sink.append(
+        f"ablation topology[{topo}]: oihsa {result['oihsa']:+.1f}%  "
+        f"bbsa {result['bbsa']:+.1f}% vs BA"
+    )
+    # No topology should make the contention-aware algorithms catastrophically
+    # worse than BA.
+    assert result["oihsa"] > -20.0
+    assert result["bbsa"] > -20.0

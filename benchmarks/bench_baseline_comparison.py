@@ -1,0 +1,53 @@
+"""Extended baseline comparison: the paper's algorithms vs the literature.
+
+Not a paper figure — this bench pits OIHSA/BBSA against the broader
+list-scheduling literature (HEFT, CPOP under the contention-free model, and
+their contention-replayed makespans) plus a simulated-annealing mapping
+search evaluated under the contention model, on one mid-size WAN workload.
+"""
+
+import pytest
+
+from repro.core import SCHEDULERS
+from repro.core.replay import replay_under_contention
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workloads import paper_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    config = ExperimentConfig.smoke()
+    return paper_workload(config, ccr=2.0, n_procs=8, rng=4242)
+
+
+@pytest.mark.parametrize("algo", ["ba", "oihsa", "bbsa", "heft", "cpop"])
+def test_baseline_runtime(benchmark, workload, algo):
+    scheduler_cls = SCHEDULERS[algo]
+    schedule = benchmark(lambda: scheduler_cls().schedule(workload.graph, workload.net))
+    assert schedule.makespan > 0
+
+
+def test_annealing_runtime(benchmark, workload, report_sink):
+    from repro.core.annealing import AnnealingScheduler
+
+    schedule = benchmark.pedantic(
+        lambda: AnnealingScheduler(iterations=100, rng=1).schedule(
+            workload.graph, workload.net
+        ),
+        iterations=1,
+        rounds=1,
+    )
+    # Compare everything under the *contention* model: classic-model
+    # schedules are replayed first.
+    rows = [f"annealing(100 iters): {schedule.makespan:.0f}"]
+    for algo in ("ba", "oihsa", "bbsa"):
+        m = SCHEDULERS[algo]().schedule(workload.graph, workload.net).makespan
+        rows.append(f"{algo}: {m:.0f}")
+    for algo in ("heft", "cpop"):
+        promised = SCHEDULERS[algo]().schedule(workload.graph, workload.net)
+        real = replay_under_contention(promised).makespan
+        rows.append(f"{algo}+replay: {real:.0f} (promised {promised.makespan:.0f})")
+    report_sink.append(
+        "baseline comparison (contention-model makespans):\n  " + "\n  ".join(rows)
+    )
+    assert schedule.makespan > 0

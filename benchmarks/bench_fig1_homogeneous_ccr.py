@@ -1,0 +1,17 @@
+"""Figure 1: homogeneous systems, % improvement over BA vs CCR.
+
+Paper: improvements rise with CCR from ~5% toward ~30-40% in the mid range
+and flatten/dip at very large CCR; BBSA tracks above OIHSA.  The benchmark
+times the whole sweep; the regenerated series is printed next to the
+published values in the session report.
+"""
+
+from repro.experiments.figures import figure1
+
+
+def test_fig1_homogeneous_ccr(benchmark, homo_config, report_sink):
+    result = benchmark.pedantic(figure1, args=(homo_config,), iterations=1, rounds=1)
+    report_sink.append(result.to_text())
+    checks = result.run_shape_checks()
+    assert checks["oihsa beats BA on average"]
+    assert checks["bbsa beats BA on average"]

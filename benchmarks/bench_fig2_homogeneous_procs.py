@@ -1,0 +1,16 @@
+"""Figure 2: homogeneous systems, % improvement over BA vs processor count.
+
+Paper: improvements grow with the processor count (more links -> better
+routes and more even workload) up to ~64 processors, then degrade as the
+graph's parallelism runs out.
+"""
+
+from repro.experiments.figures import figure2
+
+
+def test_fig2_homogeneous_procs(benchmark, homo_config, report_sink):
+    result = benchmark.pedantic(figure2, args=(homo_config,), iterations=1, rounds=1)
+    report_sink.append(result.to_text())
+    checks = result.run_shape_checks()
+    assert checks["oihsa beats BA on average"]
+    assert checks["bbsa beats BA on average"]

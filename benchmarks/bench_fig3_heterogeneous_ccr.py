@@ -1,0 +1,16 @@
+"""Figure 3: heterogeneous systems (speeds U(1,10)), % improvement vs CCR.
+
+Paper: same rising-then-flattening shape as Figure 1 but with larger
+improvements (~10-60%): the contention-aware routing exploits the speed
+spread, and BBSA soaks up spare bandwidth on fast links.
+"""
+
+from repro.experiments.figures import figure3
+
+
+def test_fig3_heterogeneous_ccr(benchmark, hetero_config, report_sink):
+    result = benchmark.pedantic(figure3, args=(hetero_config,), iterations=1, rounds=1)
+    report_sink.append(result.to_text())
+    checks = result.run_shape_checks()
+    assert checks["oihsa beats BA on average"]
+    assert checks["bbsa beats BA on average"]

@@ -1,0 +1,15 @@
+"""Figure 4: heterogeneous systems, % improvement over BA vs processor count.
+
+Paper: like Figure 2 with larger improvements (~10-45%), same saturation
+beyond the graph's parallelism.
+"""
+
+from repro.experiments.figures import figure4
+
+
+def test_fig4_heterogeneous_procs(benchmark, hetero_config, report_sink):
+    result = benchmark.pedantic(figure4, args=(hetero_config,), iterations=1, rounds=1)
+    report_sink.append(result.to_text())
+    checks = result.run_shape_checks()
+    assert checks["oihsa beats BA on average"]
+    assert checks["bbsa beats BA on average"]

@@ -1,0 +1,36 @@
+"""Extension bench: packet count vs makespan (the paper's circuit-switching gap).
+
+The paper's BA assumes circuit switching because it "does not consider the
+possible division of communication into packets".  This bench quantifies
+that modeling gap: the packet-switched BA sweeps the packet count from 1
+(pure store-and-forward) upward; the makespan should fall monotonically-ish
+toward BA's cut-through (circuit-switched) value, which acts as the limit.
+"""
+
+import pytest
+
+from repro.core.ba import BAScheduler
+from repro.core.packetba import PacketBAScheduler
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workloads import paper_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    config = ExperimentConfig.smoke()
+    return paper_workload(config, ccr=2.0, n_procs=8, rng=777)
+
+
+@pytest.mark.parametrize("k", [1, 2, 4, 16, 64])
+def test_packet_count_sweep(benchmark, workload, k, report_sink):
+    schedule = benchmark(
+        lambda: PacketBAScheduler(n_packets=k).schedule(workload.graph, workload.net)
+    )
+    limit = BAScheduler(shared_ready_time=False).schedule(
+        workload.graph, workload.net
+    ).makespan
+    report_sink.append(
+        f"packet pipelining k={k}: makespan {schedule.makespan:.0f} "
+        f"(cut-through limit {limit:.0f})"
+    )
+    assert schedule.makespan > 0

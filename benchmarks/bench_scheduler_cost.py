@@ -1,0 +1,38 @@
+"""Scheduler runtime scaling: time one schedule() call per algorithm.
+
+Not a paper figure — this measures the *cost* of each algorithm on a fixed
+mid-size workload so regressions in the engines (gap search, deferral
+cascade, fluid sweep, routing probes) show up as timing changes.
+"""
+
+import pytest
+
+from repro.core import SCHEDULERS
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workloads import paper_workload
+
+
+@pytest.fixture(scope="module")
+def workload():
+    config = ExperimentConfig.default()
+    return paper_workload(config, ccr=2.0, n_procs=16, rng=12345)
+
+
+@pytest.mark.parametrize("algo", sorted(SCHEDULERS))
+def test_scheduler_runtime(benchmark, workload, algo):
+    scheduler_cls = SCHEDULERS[algo]
+    result = benchmark(lambda: scheduler_cls().schedule(workload.graph, workload.net))
+    assert result.makespan > 0
+
+
+@pytest.mark.parametrize("n_tasks", [25, 50, 100])
+def test_oihsa_scaling_with_tasks(benchmark, n_tasks):
+    from repro.network.builders import random_wan
+    from repro.taskgraph.ccr import scale_to_ccr
+    from repro.taskgraph.generators import random_layered_dag
+
+    graph = scale_to_ccr(random_layered_dag(n_tasks, rng=1, density=0.05), 2.0)
+    net = random_wan(16, rng=2)
+    scheduler_cls = SCHEDULERS["oihsa"]
+    result = benchmark(lambda: scheduler_cls().schedule(graph, net))
+    assert result.makespan > 0

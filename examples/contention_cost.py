@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""What does ignoring contention actually cost?
+
+The paper's motivating claim is that the classic contention-free model
+produces schedules whose promised makespans real networks cannot honour.
+This example quantifies it: a classic (contention-free) schedule is
+*replayed* under the real edge-scheduling model — same task-to-processor
+mapping, but communications must now queue on shared links — and compared
+against schedules that were contention-aware from the start.
+
+Run:  python examples/contention_cost.py
+"""
+
+from repro import (
+    BBSAScheduler,
+    ClassicScheduler,
+    OIHSAScheduler,
+    contention_penalty,
+    random_layered_dag,
+    random_wan,
+    replay_under_contention,
+    scale_to_ccr,
+    validate_schedule,
+)
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    net = random_wan(16, rng=21)
+    print(f"platform: {net.name} ({len(net.switches())} switches)\n")
+
+    rows = []
+    for ccr in (0.5, 2.0, 5.0):
+        graph = scale_to_ccr(random_layered_dag(50, rng=9, density=0.05), ccr)
+
+        classic = ClassicScheduler().schedule(graph, net)
+        replayed = replay_under_contention(classic)
+        validate_schedule(replayed)
+        oihsa = OIHSAScheduler().schedule(graph, net)
+        bbsa = BBSAScheduler().schedule(graph, net)
+
+        rows.append(
+            [
+                ccr,
+                classic.makespan,
+                replayed.makespan,
+                f"{contention_penalty(classic):.2f}x",
+                oihsa.makespan,
+                bbsa.makespan,
+            ]
+        )
+
+    print(
+        format_table(
+            [
+                "CCR",
+                "classic (promised)",
+                "classic (real)",
+                "penalty",
+                "OIHSA",
+                "BBSA",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nReading: 'promised' is the contention-free estimate; 'real' is the\n"
+        "same placement replayed on contended links.  The penalty grows with\n"
+        "CCR: at CCR 5 the classic schedule takes ~4x longer than it claimed,\n"
+        "which is the paper's core motivation.  Note the replayed classic\n"
+        "mapping can still be competitive with OIHSA/BBSA — placement quality\n"
+        "matters as much as edge scheduling, and the classic EFT placement is\n"
+        "a strong clusterer at high CCR (see DESIGN.md Section 5 on baseline\n"
+        "strength)."
+    )
+
+
+if __name__ == "__main__":
+    main()

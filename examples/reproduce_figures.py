@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Regenerate all four figures of the paper (scaled-down by default).
+
+Usage:
+    python examples/reproduce_figures.py            # scaled sweep, ~minutes
+    python examples/reproduce_figures.py --smoke    # tiny sweep, seconds
+    python examples/reproduce_figures.py --paper    # published parameters (hours!)
+    python examples/reproduce_figures.py --only figure2
+
+Prints, for each figure, the measured improvement series next to the values
+digitized from the published plot, plus the qualitative shape checks recorded
+in EXPERIMENTS.md.
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import ALL_FIGURES, ExperimentConfig
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="tiny sweep (seconds)")
+    parser.add_argument("--paper", action="store_true", help="published parameters (hours)")
+    parser.add_argument("--plot", action="store_true", help="append ASCII plots")
+    parser.add_argument(
+        "--only",
+        choices=sorted(ALL_FIGURES),
+        default=None,
+        help="run a single figure",
+    )
+    args = parser.parse_args(argv)
+
+    names = [args.only] if args.only else sorted(ALL_FIGURES)
+    for name in names:
+        hetero = name in ("figure3", "figure4")
+        if args.paper:
+            config = ExperimentConfig.paper_scale(heterogeneous=hetero)
+        elif args.smoke:
+            config = ExperimentConfig.smoke(heterogeneous=hetero)
+        else:
+            config = ExperimentConfig.default(heterogeneous=hetero)
+        t0 = time.time()
+        result = ALL_FIGURES[name](config)
+        print(result.to_text(plot=args.plot))
+        print(f"({time.time() - t0:.1f}s)\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Scientific-workflow scheduling across a wide-area grid.
+
+The scenario the paper's introduction motivates: a data-parallel map-reduce
+style workflow (think distributed analysis over grid sites) must run across
+processors scattered behind WAN switches.  Naive contention-free scheduling
+("classic") underestimates every transfer; BA accounts for contention but
+routes blindly; OIHSA/BBSA adapt routes and packing to live link load.
+
+The example sweeps CCR to show where contention-awareness pays off most.
+
+Run:  python examples/wan_workflow.py
+"""
+
+from repro import (
+    BAScheduler,
+    BBSAScheduler,
+    ClassicScheduler,
+    OIHSAScheduler,
+    kernels,
+    random_wan,
+    scale_to_ccr,
+    validate_schedule,
+)
+from repro.core.metrics import improvement_ratio, link_utilization
+from repro.utils.tables import format_table
+
+
+def main() -> None:
+    net = random_wan(24, rng=3, procs_per_switch=(4, 8))
+    print(
+        f"grid: {len(net.processors())} processors across "
+        f"{len(net.switches())} sites, {net.num_links} links\n"
+    )
+
+    base_graph = kernels.map_reduce(mappers=10, reducers=6, rng=5)
+    rows = []
+    for ccr in (0.2, 1.0, 3.0, 8.0):
+        graph = scale_to_ccr(base_graph, ccr)
+        makespans = {}
+        for scheduler in (
+            ClassicScheduler(),
+            BAScheduler(),
+            OIHSAScheduler(),
+            BBSAScheduler(),
+        ):
+            schedule = scheduler.schedule(graph, net)
+            validate_schedule(schedule)
+            makespans[schedule.algorithm] = schedule.makespan
+        rows.append(
+            [
+                ccr,
+                makespans["classic"],
+                makespans["ba"],
+                makespans["oihsa"],
+                makespans["bbsa"],
+                f"{improvement_ratio(makespans['ba'], makespans['bbsa']):+.1f}%",
+            ]
+        )
+    print(
+        format_table(
+            ["CCR", "classic*", "BA", "OIHSA", "BBSA", "BBSA vs BA"],
+            rows,
+        )
+    )
+    print(
+        "\n* classic ignores contention entirely: its makespan is an estimate\n"
+        "  that a real contended network would not honour.\n"
+    )
+
+    # Show how busy the WAN backbone actually is under BBSA at high CCR.
+    schedule = BBSAScheduler().schedule(scale_to_ccr(base_graph, 3.0), net)
+    util = link_utilization(schedule)
+    busiest = sorted(util.items(), key=lambda kv: -kv[1])[:5]
+    print("busiest links under BBSA at CCR=3:")
+    for lid, u in busiest:
+        print(f"  {net.link(lid).name}: {u:.0%} of the makespan busy")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,177 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+- ``figures``  — regenerate the paper's figures (choose scale / subset),
+- ``schedule`` — schedule a generated workload and print report + Gantt,
+- ``ablation`` — run one of the named design-choice ablations,
+- ``export``   — schedule a workload and write SVG / Chrome-trace / JSON,
+- ``info``     — library, algorithm and registry overview.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro.experiments import ALL_FIGURES, ExperimentConfig
+
+    names = [args.only] if args.only else sorted(ALL_FIGURES)
+    for name in names:
+        hetero = name in ("figure3", "figure4")
+        if args.scale == "paper":
+            config = ExperimentConfig.paper_scale(heterogeneous=hetero)
+        elif args.scale == "smoke":
+            config = ExperimentConfig.smoke(heterogeneous=hetero)
+        else:
+            config = ExperimentConfig.default(heterogeneous=hetero)
+        print(ALL_FIGURES[name](config).to_text(plot=args.plot))
+        print()
+    return 0
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro.core import SCHEDULERS
+    from repro.core.validate import validate_schedule
+    from repro.network.builders import TOPOLOGY_BUILDERS
+    from repro.taskgraph.ccr import scale_to_ccr
+    from repro.taskgraph.generators import random_layered_dag
+    from repro.taskgraph.kernels import KERNELS
+    from repro.viz.report import schedule_report
+
+    if args.kernel:
+        graph = KERNELS[args.kernel](args.size, rng=args.seed)
+    else:
+        graph = random_layered_dag(args.tasks, rng=args.seed)
+    if args.ccr is not None:
+        graph = scale_to_ccr(graph, args.ccr)
+    builder = TOPOLOGY_BUILDERS[args.topology]
+    if args.topology == "mesh2d":
+        net = builder(args.procs, args.procs, rng=args.seed + 1)
+    else:
+        net = builder(args.procs, rng=args.seed + 1)
+    schedule = SCHEDULERS[args.algorithm]().schedule(graph, net)
+    validate_schedule(schedule)
+    print(schedule_report(schedule, gantt=not args.no_gantt))
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    from repro.experiments.ablations import ABLATIONS, run_ablation
+    from repro.experiments.config import ExperimentConfig
+
+    names = [args.name] if args.name else sorted(ABLATIONS)
+    config = ExperimentConfig.default()
+    for name in names:
+        result = run_ablation(name, config, ccr=args.ccr, n_procs=args.procs)
+        print(f"{name} (base: {result.base}):")
+        for variant, imp in result.improvements.items():
+            print(f"  {variant}: {imp:+.1f}% makespan vs base")
+    return 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    from repro.core import SCHEDULERS
+    from repro.core.io import schedule_to_json
+    from repro.core.validate import validate_schedule
+    from repro.network.builders import TOPOLOGY_BUILDERS
+    from repro.taskgraph.ccr import scale_to_ccr
+    from repro.taskgraph.generators import random_layered_dag
+    from repro.viz.svg import schedule_to_svg
+    from repro.viz.trace import schedule_to_trace
+
+    graph = random_layered_dag(args.tasks, rng=args.seed)
+    if args.ccr is not None:
+        graph = scale_to_ccr(graph, args.ccr)
+    net = TOPOLOGY_BUILDERS[args.topology](args.procs, rng=args.seed + 1)
+    schedule = SCHEDULERS[args.algorithm]().schedule(graph, net)
+    validate_schedule(schedule)
+    renderers = {
+        "svg": schedule_to_svg,
+        "trace": schedule_to_trace,
+        "json": schedule_to_json,
+    }
+    content = renderers[args.format](schedule)
+    with open(args.output, "w") as fh:
+        fh.write(content)
+    print(f"wrote {args.format} for {schedule.summary()} to {args.output}")
+    return 0
+
+
+def _cmd_info(args: argparse.Namespace) -> int:  # noqa: ARG001
+    from repro.core import SCHEDULERS
+    from repro.network.builders import TOPOLOGY_BUILDERS
+    from repro.taskgraph.kernels import KERNELS
+
+    print(f"repro {__version__} — contention-aware edge scheduling (Han & Wang, ICPP 2006)")
+    print(f"algorithms: {', '.join(sorted(SCHEDULERS))}")
+    print(f"topologies: {', '.join(sorted(TOPOLOGY_BUILDERS))}")
+    print(f"kernels:    {', '.join(sorted(KERNELS))}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
+    parser.add_argument("--version", action="version", version=__version__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("figures", help="regenerate the paper's figures")
+    p.add_argument("--scale", choices=("smoke", "default", "paper"), default="default")
+    p.add_argument("--only", choices=("figure1", "figure2", "figure3", "figure4"))
+    p.add_argument("--plot", action="store_true", help="append ASCII plots")
+    p.set_defaults(fn=_cmd_figures)
+
+    from repro.core import SCHEDULERS
+
+    p = sub.add_parser("schedule", help="schedule a generated workload")
+    p.add_argument("--algorithm", choices=sorted(SCHEDULERS), default="oihsa")
+    p.add_argument("--tasks", type=int, default=30, help="random layered DAG size")
+    p.add_argument("--kernel", default=None, help="use a named kernel instead")
+    p.add_argument("--size", type=int, default=5, help="kernel size parameter")
+    p.add_argument("--ccr", type=float, default=None)
+    p.add_argument("--topology", default="random_wan")
+    p.add_argument("--procs", type=int, default=8)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--no-gantt", action="store_true")
+    p.set_defaults(fn=_cmd_schedule)
+
+    p = sub.add_parser("ablation", help="run a design-choice ablation")
+    p.add_argument("name", nargs="?", default=None)
+    p.add_argument("--ccr", type=float, default=2.0)
+    p.add_argument("--procs", type=int, default=16)
+    p.set_defaults(fn=_cmd_ablation)
+
+    p = sub.add_parser("export", help="schedule a workload and export it")
+    p.add_argument("output", help="output file path")
+    p.add_argument("--format", choices=("svg", "trace", "json"), default="svg")
+    p.add_argument("--algorithm", choices=sorted(SCHEDULERS), default="oihsa")
+    p.add_argument("--tasks", type=int, default=30)
+    p.add_argument("--ccr", type=float, default=None)
+    p.add_argument("--topology", default="random_wan")
+    p.add_argument("--procs", type=int, default=8)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(fn=_cmd_export)
+
+    p = sub.add_parser("info", help="library overview")
+    p.set_defaults(fn=_cmd_info)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return args.fn(args)
+    except BrokenPipeError:
+        # Output piped into a pager/head that closed early: not an error.
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), 1)
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

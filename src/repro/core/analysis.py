@@ -1,0 +1,181 @@
+"""Schedule post-mortem analysis.
+
+Answers "why is the makespan what it is?" for any schedule:
+
+- :func:`processor_breakdown` — per-processor busy / idle-waiting time,
+- :func:`schedule_critical_chain` — the chain of tasks and communications
+  whose end-to-end length *is* the makespan (the schedule's own critical
+  path, distinct from the graph's static critical path),
+- :func:`contention_hotspots` — links ranked by how long they kept edges
+  waiting beyond their contention-free transfer time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schedule import Schedule
+from repro.exceptions import SchedulingError
+from repro.types import EPS, EdgeKey, TaskId
+
+
+@dataclass(frozen=True, slots=True)
+class ProcessorLoad:
+    """How one processor spent the schedule's makespan."""
+
+    processor: int
+    busy: float
+    idle: float
+    n_tasks: int
+
+    @property
+    def utilization(self) -> float:
+        total = self.busy + self.idle
+        return self.busy / total if total > 0 else 0.0
+
+
+def processor_breakdown(schedule: Schedule) -> list[ProcessorLoad]:
+    """Busy/idle split of every processor over [0, makespan)."""
+    makespan = schedule.makespan
+    by_proc: dict[int, list] = {p.vid: [] for p in schedule.net.processors()}
+    for pl in schedule.placements.values():
+        by_proc[pl.processor].append(pl)
+    out = []
+    for vid, pls in sorted(by_proc.items()):
+        busy = sum(pl.finish - pl.start for pl in pls)
+        out.append(
+            ProcessorLoad(
+                processor=vid,
+                busy=busy,
+                idle=max(0.0, makespan - busy),
+                n_tasks=len(pls),
+            )
+        )
+    return out
+
+
+@dataclass(frozen=True, slots=True)
+class ChainLink:
+    """One step of the schedule's critical chain."""
+
+    kind: str  # "task" or "comm"
+    task: TaskId | None
+    edge: EdgeKey | None
+    start: float
+    finish: float
+
+
+def schedule_critical_chain(schedule: Schedule) -> list[ChainLink]:
+    """Walk back from the last-finishing task along binding constraints.
+
+    At each task, the binding constraint is either the in-edge whose arrival
+    equals (within tolerance) the task's start, or — when the task waited on
+    its processor rather than on data — the previous task on the same
+    processor.  The walk ends at a task starting at time 0.
+    """
+    if not schedule.placements:
+        return []
+    placements = schedule.placements
+    by_proc: dict[int, list] = {}
+    for pl in placements.values():
+        by_proc.setdefault(pl.processor, []).append(pl)
+    for pls in by_proc.values():
+        pls.sort(key=lambda p: p.start)
+
+    chain: list[ChainLink] = []
+    current = max(placements.values(), key=lambda p: (p.finish, p.task))
+    guard = 0
+    while True:
+        guard += 1
+        if guard > len(placements) * 4:
+            raise SchedulingError("critical-chain walk failed to terminate")
+        chain.append(
+            ChainLink("task", current.task, None, current.start, current.finish)
+        )
+        if current.start <= EPS:
+            break
+        # Data-bound? Find an in-edge arriving exactly at our start.
+        binding_edge = None
+        for e in schedule.graph.in_edges(current.task):
+            arrival = schedule.edge_arrivals.get(e.key)
+            if arrival is not None and abs(arrival - current.start) <= 1e-6:
+                binding_edge = e
+                break
+        if binding_edge is not None:
+            src_pl = placements[binding_edge.src]
+            chain.append(
+                ChainLink(
+                    "comm",
+                    None,
+                    binding_edge.key,
+                    src_pl.finish,
+                    schedule.edge_arrivals[binding_edge.key],
+                )
+            )
+            current = src_pl
+            continue
+        # Processor-bound? The previous task on this processor ends at our start.
+        pls = by_proc[current.processor]
+        idx = pls.index(current)
+        if idx > 0 and abs(pls[idx - 1].finish - current.start) <= 1e-6:
+            current = pls[idx - 1]
+            continue
+        # Data-ready before start but no exact binder (end-technique queueing
+        # gap): fall back to the latest-arriving in-edge / predecessor.
+        preds = schedule.graph.in_edges(current.task)
+        if preds:
+            e = max(preds, key=lambda e: schedule.edge_arrivals.get(e.key, 0.0))
+            src_pl = placements[e.src]
+            chain.append(
+                ChainLink(
+                    "comm", None, e.key, src_pl.finish,
+                    schedule.edge_arrivals.get(e.key, src_pl.finish),
+                )
+            )
+            current = src_pl
+            continue
+        break  # an entry task that idled: chain ends here
+    chain.reverse()
+    return chain
+
+
+@dataclass(frozen=True, slots=True)
+class LinkHotspot:
+    """Aggregate queueing on one link."""
+
+    lid: int
+    busy_time: float
+    total_wait: float
+    n_transfers: int
+
+
+def contention_hotspots(schedule: Schedule) -> list[LinkHotspot]:
+    """Links ranked by total waiting they imposed on transfers.
+
+    Wait of a slot = its start minus the earliest moment the data could have
+    entered the link (source finish for the first hop, previous hop's slot
+    start under cut-through / finish under store-and-forward).
+    """
+    state = schedule.link_state
+    if state is None:
+        return []
+    waits: dict[int, float] = {}
+    counts: dict[int, int] = {}
+    for e in schedule.graph.edges():
+        if not state.has_route(e.key):
+            continue
+        route = state.route_of(e.key)
+        if not route:
+            continue
+        earliest = schedule.placements[e.src].finish
+        for lid in route:
+            slot = state.slot_of(e.key, lid)
+            waits[lid] = waits.get(lid, 0.0) + max(0.0, slot.start - earliest)
+            counts[lid] = counts.get(lid, 0) + 1
+            earliest, _ = schedule.comm.next_constraints(slot.start, slot.finish)
+    out = []
+    for lid, wait in waits.items():
+        busy = sum(s.duration for s in state.slots(lid))
+        out.append(LinkHotspot(lid, busy, wait, counts[lid]))
+    out.sort(key=lambda h: -h.total_wait)
+    return out

@@ -1,0 +1,135 @@
+"""List-scheduling framework shared by all contention-aware algorithms.
+
+Every scheduler follows the same outer loop (paper Algorithm 1):
+
+1. order tasks by static priority (descending bottom level, precedence-safe),
+2. for each task: pick a processor, schedule its incoming communications
+   onto network links, then book the task itself (end technique — the
+   model's ``t_s(n, P) = max(t_dr(n, P), t_f(P))``).
+
+Subclasses define the three policy points: processor selection, edge order,
+and how an edge is routed + booked.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+from repro.core.schedule import Schedule
+from repro.exceptions import SchedulingError
+from repro.network.topology import NetworkTopology, Vertex
+from repro.network.validate import validate_topology
+from repro.procsched.state import ProcessorState
+from repro.taskgraph.graph import CommEdge, TaskGraph
+from repro.taskgraph.priorities import priority_list
+from repro.taskgraph.validate import validate_graph
+from repro.types import TaskId
+
+
+class ContentionScheduler(ABC):
+    """Base class: validates inputs, runs the list loop, assembles the result."""
+
+    #: short algorithm name used in reports
+    name: str = "base"
+
+    #: book tasks into idle processor gaps instead of appending (ablation knob)
+    task_insertion: bool = False
+
+    def schedule(self, graph: TaskGraph, net: NetworkTopology) -> Schedule:
+        """Schedule ``graph`` onto ``net`` and return the full schedule."""
+        validate_graph(graph)
+        validate_topology(net)
+        self._begin(graph, net)
+        procs = sorted(net.processors(), key=lambda p: p.vid)
+        pstate = ProcessorState()
+        for tid in priority_list(graph):
+            self._place_task(graph, net, tid, procs, pstate)
+        return self._finish(graph, net, pstate)
+
+    # -- hooks ----------------------------------------------------------------
+
+    @abstractmethod
+    def _begin(self, graph: TaskGraph, net: NetworkTopology) -> None:
+        """Reset per-run state (link schedules etc.)."""
+
+    @abstractmethod
+    def _place_task(
+        self,
+        graph: TaskGraph,
+        net: NetworkTopology,
+        tid: TaskId,
+        procs: list[Vertex],
+        pstate: ProcessorState,
+    ) -> None:
+        """Choose a processor for ``tid``, book its in-edges and the task."""
+
+    @abstractmethod
+    def _finish(
+        self, graph: TaskGraph, net: NetworkTopology, pstate: ProcessorState
+    ) -> Schedule:
+        """Assemble the :class:`Schedule` from the run's state."""
+
+    # -- shared helpers --------------------------------------------------------
+
+    @staticmethod
+    def _in_edges_by_cost(graph: TaskGraph, tid: TaskId) -> list[CommEdge]:
+        """The paper's edge priority: descending cost, stable on source id."""
+        return sorted(graph.in_edges(tid), key=lambda e: (-e.cost, e.src))
+
+    @staticmethod
+    def _mls_select_processor(
+        graph: TaskGraph,
+        tid: TaskId,
+        procs: list[Vertex],
+        pstate,
+        mls: float,
+        *,
+        local_comm_exempt: bool = True,
+    ) -> Vertex:
+        """The paper's Section 4.1 processor heuristic (shared by OIHSA/BBSA).
+
+        ``min_P [ max( max_j(t_f(pred_j) + c(e_j,i)/MLS), t_f(P) ) + w/s(P) ]``
+
+        With ``local_comm_exempt`` (default) the ``c/MLS`` term is dropped for
+        predecessors already on the candidate processor, consistent with the
+        model's free local communication; the printed formula has no such
+        conditional, so ``False`` gives the literal reading (ablation knob).
+        """
+        if mls <= 0:
+            raise SchedulingError(f"invalid mean link speed {mls}")
+        weight = graph.task(tid).weight
+        in_edges = graph.in_edges(tid)
+        best: tuple[float, int] | None = None
+        chosen = procs[0]
+        for proc in procs:
+            comm_bound = 0.0
+            for e in in_edges:
+                src_pl = pstate.placement(e.src)
+                est = src_pl.finish
+                if not (local_comm_exempt and src_pl.processor == proc.vid):
+                    est += e.cost / mls
+                if est > comm_bound:
+                    comm_bound = est
+            finish = max(comm_bound, pstate.finish_time(proc.vid)) + weight / proc.speed
+            key = (finish, proc.vid)
+            if best is None or key < best:
+                best, chosen = key, proc
+        return chosen
+
+    @staticmethod
+    def _place_on(
+        pstate: ProcessorState,
+        tid: TaskId,
+        proc: Vertex,
+        weight: float,
+        data_ready: float,
+        *,
+        insertion: bool,
+    ) -> float:
+        """Book the task on ``proc``; return its finish time."""
+        if proc.speed <= 0:
+            raise SchedulingError(f"processor {proc.vid} has invalid speed")
+        placement = pstate.place(
+            tid, proc.vid, weight / proc.speed, data_ready, insertion=insertion
+        )
+        return placement.finish

@@ -1,0 +1,107 @@
+"""Independent discrete-event re-execution of a schedule.
+
+A second, structurally different implementation of the model used as a
+cross-check: instead of trusting the scheduler's bookkeeping, the schedule's
+*decisions* (task -> processor, edge -> route, per-link slot times or fluid
+bookings) are re-executed as a discrete-event simulation that only fires an
+event when all of its prerequisites have fired.  If the schedule's recorded
+times are self-consistent, the simulation reproduces every task finish time
+exactly; any divergence indicates a bookkeeping bug that the static
+validator family might express differently.
+
+This catches a class of errors static checks can miss by construction —
+e.g. a *cyclic* wait between bookings that individually look fine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.schedule import Schedule
+from repro.exceptions import ValidationError
+from repro.types import TaskId
+
+
+@dataclass(frozen=True, slots=True)
+class SimReport:
+    """Outcome of the event-driven re-execution."""
+
+    task_finish: dict[TaskId, float]
+    makespan: float
+
+
+def resimulate(schedule: Schedule, eps: float = 1e-6) -> SimReport:
+    """Re-execute the schedule event by event; verify recorded times.
+
+    Events: a task may *start* once (a) its processor predecessor (previous
+    task in the processor's recorded order) has finished and (b) every
+    in-edge has arrived; an edge *arrives* at its recorded arrival, which
+    must be no earlier than its source task's simulated finish.  Raises
+    :class:`ValidationError` on any divergence from the recorded times or if
+    the event graph deadlocks (cyclic waits).
+    """
+    graph = schedule.graph
+    placements = schedule.placements
+
+    # Processor order from recorded starts.
+    proc_prev: dict[TaskId, TaskId] = {}
+    by_proc: dict[int, list] = {}
+    for pl in placements.values():
+        by_proc.setdefault(pl.processor, []).append(pl)
+    for pls in by_proc.values():
+        pls.sort(key=lambda p: (p.start, p.task))
+        for a, b in zip(pls, pls[1:]):
+            proc_prev[b.task] = a.task
+
+    finish: dict[TaskId, float] = {}
+    pending = set(graph.task_ids())
+    progress = True
+    while pending and progress:
+        progress = False
+        for tid in sorted(pending):
+            pl = placements[tid]
+            prev = proc_prev.get(tid)
+            if prev is not None and prev not in finish:
+                continue
+            if any(p not in finish for p in graph.predecessors(tid)):
+                continue
+            # All prerequisites simulated: compute the earliest legal start.
+            ready = finish[prev] if prev is not None else 0.0
+            for e in graph.in_edges(tid):
+                arrival = schedule.edge_arrivals.get(e.key)
+                if arrival is None:
+                    raise ValidationError(f"edge {e.key} has no recorded arrival")
+                if arrival < finish[e.src] - eps:
+                    raise ValidationError(
+                        f"edge {e.key} recorded arrival {arrival} precedes its "
+                        f"source's simulated finish {finish[e.src]}"
+                    )
+                ready = max(ready, arrival)
+            if pl.start < ready - eps:
+                raise ValidationError(
+                    f"task {tid} recorded start {pl.start} is earlier than its "
+                    f"simulated ready time {ready}"
+                )
+            # Execution time derived independently from the model, not from
+            # the recorded placement.
+            speed = schedule.net.vertex(pl.processor).speed
+            simulated_finish = pl.start + graph.task(tid).weight / speed
+            if abs(simulated_finish - pl.finish) > max(eps, 1e-9 * abs(simulated_finish)):
+                raise ValidationError(
+                    f"task {tid}: simulated finish {simulated_finish} != "
+                    f"recorded {pl.finish}"
+                )
+            finish[tid] = simulated_finish
+            pending.discard(tid)
+            progress = True
+    if pending:
+        raise ValidationError(
+            f"schedule deadlocks in event simulation: tasks {sorted(pending)[:5]} "
+            f"wait forever (cyclic processor/data dependencies)"
+        )
+    makespan = max(finish.values(), default=0.0)
+    if abs(makespan - schedule.makespan) > eps:
+        raise ValidationError(
+            f"simulated makespan {makespan} != recorded {schedule.makespan}"
+        )
+    return SimReport(task_finish=finish, makespan=makespan)

@@ -1,0 +1,104 @@
+"""Schedule quality metrics.
+
+``improvement_ratio`` is the paper's headline metric: the percentage
+reduction in makespan of a candidate algorithm relative to the baseline
+(BA), i.e. ``100 * (baseline - candidate) / baseline``.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import Schedule
+from repro.exceptions import ReproError
+from repro.taskgraph.priorities import critical_path_length
+
+
+def makespan(schedule: Schedule) -> float:
+    """Completion time of the last task."""
+    return schedule.makespan
+
+
+def improvement_ratio(baseline: float, candidate: float) -> float:
+    """Percent makespan improvement of ``candidate`` over ``baseline``."""
+    if baseline <= 0:
+        raise ReproError(f"baseline makespan must be positive, got {baseline}")
+    return 100.0 * (baseline - candidate) / baseline
+
+
+def speedup(schedule: Schedule) -> float:
+    """Sequential time on the fastest processor / parallel makespan."""
+    fastest = max(p.speed for p in schedule.net.processors())
+    sequential = schedule.graph.total_work() / fastest
+    ms = schedule.makespan
+    if ms <= 0:
+        raise ReproError("cannot compute speedup of a zero-makespan schedule")
+    return sequential / ms
+
+
+def efficiency(schedule: Schedule) -> float:
+    """Speedup divided by the number of processors."""
+    return speedup(schedule) / len(schedule.net.processors())
+
+
+def schedule_length_ratio(schedule: Schedule) -> float:
+    """Makespan normalized by the graph's critical path on the fastest processor.
+
+    Values close to 1 mean the schedule is near the communication-free lower
+    bound; always >= the computation-only bound.
+    """
+    fastest = max(p.speed for p in schedule.net.processors())
+    cp = critical_path_length(schedule.graph)
+    if cp <= 0:
+        raise ReproError("cannot compute SLR: zero critical path")
+    return schedule.makespan / (cp / fastest)
+
+
+def link_utilization(schedule: Schedule) -> dict[int, float]:
+    """Fraction of the makespan each used link spends busy.
+
+    For slot-based schedules this is busy time / makespan; for bandwidth
+    schedules it is the time-integral of used bandwidth / makespan (so a
+    half-bandwidth transfer counts half).
+    """
+    ms = schedule.makespan
+    if ms <= 0:
+        return {}
+    out: dict[int, float] = {}
+    if schedule.link_state is not None:
+        for lid in schedule.link_state.used_links():
+            busy = sum(s.duration for s in schedule.link_state.slots(lid))
+            out[lid] = busy / ms
+    elif schedule.bandwidth_state is not None:
+        lids = {
+            lid for r in schedule.bandwidth_state.routes().values() for lid in r
+        }
+        for lid in lids:
+            prof = schedule.bandwidth_state.profile(lid)
+            integral = sum((t1 - t0) * used for t0, t1, used in prof.segments)
+            out[lid] = integral / ms
+    elif schedule.packet_state is not None:
+        for lid in schedule.packet_state.used_links():
+            busy = sum(s.duration for s in schedule.packet_state.slots(lid))
+            out[lid] = busy / ms
+    return out
+
+
+def comm_to_comp_time(schedule: Schedule) -> float:
+    """Total booked link-busy time relative to total computation time."""
+    total_comp = sum(p.finish - p.start for p in schedule.placements.values())
+    if total_comp <= 0:
+        raise ReproError("schedule has zero computation time")
+    total_comm = 0.0
+    if schedule.link_state is not None:
+        for lid in schedule.link_state.used_links():
+            total_comm += sum(s.duration for s in schedule.link_state.slots(lid))
+    elif schedule.bandwidth_state is not None:
+        lids = {
+            lid for r in schedule.bandwidth_state.routes().values() for lid in r
+        }
+        for lid in lids:
+            prof = schedule.bandwidth_state.profile(lid)
+            total_comm += sum((t1 - t0) * used for t0, t1, used in prof.segments)
+    elif schedule.packet_state is not None:
+        for lid in schedule.packet_state.used_links():
+            total_comm += sum(s.duration for s in schedule.packet_state.slots(lid))
+    return total_comm / total_comp

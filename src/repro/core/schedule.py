@@ -1,0 +1,83 @@
+"""The result of scheduling: task placements plus link bookings."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SchedulingError
+from repro.linksched.bandwidth import BandwidthLinkState
+from repro.linksched.commmodel import CUT_THROUGH, CommModel
+from repro.linksched.packets import PacketLinkState
+from repro.linksched.state import LinkScheduleState
+from repro.network.topology import NetworkTopology
+from repro.procsched.state import TaskPlacement
+from repro.taskgraph.graph import TaskGraph
+from repro.types import EdgeKey, TaskId
+
+
+@dataclass
+class Schedule:
+    """A complete schedule of ``graph`` onto ``net``.
+
+    ``link_state`` carries per-link time-slot queues for slot-based
+    algorithms (BA, OIHSA); ``bandwidth_state`` carries fluid bookings for
+    BBSA; the classic (contention-free) scheduler sets neither.
+    ``edge_arrivals`` maps every DAG edge to the time its data is fully
+    available at the destination processor.
+    """
+
+    algorithm: str
+    graph: TaskGraph
+    net: NetworkTopology
+    placements: dict[TaskId, TaskPlacement]
+    edge_arrivals: dict[EdgeKey, float] = field(default_factory=dict)
+    link_state: LinkScheduleState | None = None
+    bandwidth_state: BandwidthLinkState | None = None
+    packet_state: PacketLinkState | None = None
+    #: switching mode / hop delay the schedule was built (and validates) under
+    comm: CommModel = CUT_THROUGH
+
+    @property
+    def makespan(self) -> float:
+        """Completion time of the last task (0 for an empty schedule)."""
+        return max((p.finish for p in self.placements.values()), default=0.0)
+
+    def placement(self, task: TaskId) -> TaskPlacement:
+        try:
+            return self.placements[task]
+        except KeyError:
+            raise SchedulingError(f"task {task} is not in this schedule") from None
+
+    def edge_route(self, edge: EdgeKey) -> tuple[int, ...]:
+        """Link-id route of a DAG edge (empty for same-processor edges)."""
+        if self.link_state is not None and self.link_state.has_route(edge):
+            return self.link_state.route_of(edge)
+        if self.bandwidth_state is not None and self.bandwidth_state.has_route(edge):
+            return self.bandwidth_state.route_of(edge)
+        if self.packet_state is not None and self.packet_state.has_route(edge):
+            return self.packet_state.route_of(edge)
+        raise SchedulingError(f"edge {edge} has no recorded route")
+
+    def processors_used(self) -> set[int]:
+        return {p.processor for p in self.placements.values()}
+
+    def summary(self) -> str:
+        """One-paragraph human-readable description."""
+        n_links = 0
+        if self.link_state is not None:
+            n_links = len(self.link_state.used_links())
+        elif self.bandwidth_state is not None:
+            n_links = len(
+                {lid for r in self.bandwidth_state.routes().values() for lid in r}
+            )
+        elif self.packet_state is not None:
+            n_links = len(self.packet_state.used_links())
+        return (
+            f"{self.algorithm}: {self.graph.num_tasks} tasks on "
+            f"{len(self.processors_used())}/{len(self.net.processors())} processors, "
+            f"{self.graph.num_edges} edges over {n_links} links, "
+            f"makespan {self.makespan:.2f}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Schedule({self.summary()})"

@@ -1,0 +1,45 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All errors raised by the library derive from :class:`ReproError` so callers
+can catch library failures with a single ``except`` clause while still being
+able to discriminate between model errors (bad inputs) and scheduling errors
+(internal invariant violations, which indicate bugs).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class GraphError(ReproError):
+    """A task graph is malformed (cycle, dangling edge, bad cost, ...)."""
+
+
+class CycleError(GraphError):
+    """The task graph contains a directed cycle."""
+
+
+class TopologyError(ReproError):
+    """A network topology is malformed (bad speed, unknown vertex, ...)."""
+
+
+class RoutingError(TopologyError):
+    """No route exists between the requested processors."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler could not produce a valid schedule (internal error)."""
+
+
+class ValidationError(ReproError):
+    """A produced schedule violates a model invariant.
+
+    Raised by the validators in :mod:`repro.core.validate`; if the library is
+    correct this is only seen by tests that inject corrupted schedules.
+    """
+
+
+class SerializationError(ReproError):
+    """A graph/topology/schedule document could not be parsed or written."""

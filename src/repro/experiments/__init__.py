@@ -1,0 +1,52 @@
+"""Experiment harness: the paper's Section 6 evaluation, reproducible.
+
+- :mod:`repro.experiments.config` — experiment parameter dataclasses,
+- :mod:`repro.experiments.workloads` — the paper's workload generator,
+- :mod:`repro.experiments.runner` — run algorithm comparisons, aggregate
+  improvement ratios,
+- :mod:`repro.experiments.figures` — one entry point per paper figure,
+- :mod:`repro.experiments.ablations` — design-choice ablations.
+"""
+
+from repro.experiments.config import ExperimentConfig, PAPER_CCRS, PAPER_PROC_COUNTS
+from repro.experiments.workloads import paper_workload, WorkloadInstance
+from repro.experiments.runner import (
+    ComparisonResult,
+    compare_once,
+    improvement_series,
+)
+from repro.experiments.stats import (
+    PairedSummary,
+    paired_summary,
+    bootstrap_ci,
+    sign_test_p,
+)
+from repro.experiments.figures import (
+    FigureResult,
+    figure1,
+    figure2,
+    figure3,
+    figure4,
+    ALL_FIGURES,
+)
+
+__all__ = [
+    "ExperimentConfig",
+    "PAPER_CCRS",
+    "PAPER_PROC_COUNTS",
+    "paper_workload",
+    "WorkloadInstance",
+    "ComparisonResult",
+    "compare_once",
+    "improvement_series",
+    "PairedSummary",
+    "paired_summary",
+    "bootstrap_ci",
+    "sign_test_p",
+    "FigureResult",
+    "figure1",
+    "figure2",
+    "figure3",
+    "figure4",
+    "ALL_FIGURES",
+]

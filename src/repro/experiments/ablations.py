@@ -1,0 +1,102 @@
+"""Design-choice ablations (DESIGN.md Section 4).
+
+Each ablation isolates one ingredient of OIHSA/BBSA by toggling it while
+holding everything else fixed, answering "where does the win come from?":
+
+- ``routing``      — modified (contention-aware Dijkstra) vs BFS routing,
+- ``insertion``    — optimal (deferral) vs basic insertion,
+- ``edge_order``   — descending-cost vs source-id edge priority,
+- ``bandwidth``    — BBSA's fluid links vs OIHSA's exclusive slots,
+- ``ba_variants``  — the two readings of the BA baseline (see core.ba).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+import numpy as np
+
+from repro.core.ba import BAScheduler
+from repro.core.bbsa import BBSAScheduler
+from repro.core.metrics import improvement_ratio
+from repro.core.oihsa import OIHSAScheduler
+from repro.exceptions import ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workloads import paper_workload
+from repro.utils.rng import as_rng, spawn_rng
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """Mean % improvement of each variant over the ablation's base variant."""
+
+    name: str
+    base: str
+    improvements: dict[str, float]
+
+
+#: variant name -> scheduler factory, first entry is the comparison base.
+ABLATIONS: dict[str, dict[str, Callable[[], object]]] = {
+    "routing": {
+        "bfs-routing": lambda: OIHSAScheduler(
+            modified_routing=False, optimal_insertion=False, edge_priority=False
+        ),
+        "modified-routing": lambda: OIHSAScheduler(
+            modified_routing=True, optimal_insertion=False, edge_priority=False
+        ),
+    },
+    "insertion": {
+        "basic-insertion": lambda: OIHSAScheduler(
+            modified_routing=True, optimal_insertion=False, edge_priority=True
+        ),
+        "optimal-insertion": lambda: OIHSAScheduler(
+            modified_routing=True, optimal_insertion=True, edge_priority=True
+        ),
+    },
+    "edge_order": {
+        "source-id-order": lambda: OIHSAScheduler(edge_priority=False),
+        "descending-cost": lambda: OIHSAScheduler(edge_priority=True),
+    },
+    "bandwidth": {
+        "exclusive-slots": lambda: OIHSAScheduler(),
+        "fluid-bandwidth": lambda: BBSAScheduler(),
+    },
+    "ba_variants": {
+        "ba-as-described": lambda: BAScheduler(),
+        "ba-sinnen": lambda: BAScheduler(
+            processor_choice="tentative", shared_ready_time=False
+        ),
+    },
+}
+
+
+def run_ablation(
+    name: str,
+    config: ExperimentConfig | None = None,
+    *,
+    ccr: float = 2.0,
+    n_procs: int = 16,
+) -> AblationResult:
+    """Run one named ablation over the config's repetitions."""
+    try:
+        variants = ABLATIONS[name]
+    except KeyError:
+        raise ReproError(f"unknown ablation {name!r}; known: {sorted(ABLATIONS)}") from None
+    if config is None:
+        config = ExperimentConfig.default()
+    base_name = next(iter(variants))
+    master = as_rng(config.seed)
+    per_variant: dict[str, list[float]] = {v: [] for v in variants}
+    for rep_rng in spawn_rng(master, config.repetitions):
+        instance = paper_workload(config, ccr, n_procs, rep_rng)
+        for variant, factory in variants.items():
+            schedule = factory().schedule(instance.graph, instance.net)
+            per_variant[variant].append(schedule.makespan)
+    base_mean = float(np.mean(per_variant[base_name]))
+    improvements = {
+        variant: improvement_ratio(base_mean, float(np.mean(values)))
+        for variant, values in per_variant.items()
+        if variant != base_name
+    }
+    return AblationResult(name=name, base=base_name, improvements=improvements)

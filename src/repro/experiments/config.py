@@ -1,0 +1,87 @@
+"""Experiment parameterization.
+
+The paper's Section 6 setup: processor counts {2..128}, task counts
+U(40, 1000), costs U(1, 1000), CCR swept over {0.1..1.0, 2..10}, random WAN
+topology (each switch hosts U(4, 16) processors), homogeneous (all speeds 1)
+or heterogeneous (speeds U(1, 10)) systems.
+
+Running the full sweep in pure Python takes hours, so :func:`ExperimentConfig.paper_scale`
+gives the published parameters while :func:`ExperimentConfig.default` is a
+scaled-down sweep (same construction, smaller graphs, fewer processor
+counts) whose curve *shape* matches; EXPERIMENTS.md reports both knobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.exceptions import ReproError
+
+#: CCR grid of Figures 1 and 3.
+PAPER_CCRS: tuple[float, ...] = (
+    0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0,
+    2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0, 10.0,
+)
+
+#: Processor-count grid of Figures 2 and 4.
+PAPER_PROC_COUNTS: tuple[int, ...] = (2, 4, 8, 16, 32, 64, 128)
+
+
+@dataclass(frozen=True)
+class ExperimentConfig:
+    """All knobs of one Section 6 style experiment."""
+
+    ccrs: tuple[float, ...] = PAPER_CCRS
+    proc_counts: tuple[int, ...] = PAPER_PROC_COUNTS
+    task_range: tuple[int, int] = (40, 1000)
+    cost_range: tuple[float, float] = (1, 1000)
+    #: edge density of the layered random DAGs (see generators.random_layered_dag)
+    density: float = 0.05
+    heterogeneous: bool = False
+    #: processor/link speeds for heterogeneous systems (the paper's U(1, 10))
+    speed_range: tuple[float, float] = (1, 10)
+    repetitions: int = 5
+    seed: int = 20060814  # ICPP 2006 started 2006-08-14
+    algorithms: tuple[str, ...] = ("ba", "oihsa", "bbsa")
+    baseline: str = "ba"
+
+    def __post_init__(self) -> None:
+        if self.baseline not in self.algorithms:
+            raise ReproError(
+                f"baseline {self.baseline!r} missing from algorithms {self.algorithms}"
+            )
+        if self.repetitions < 1:
+            raise ReproError(f"need at least one repetition, got {self.repetitions}")
+        if self.task_range[0] < 1 or self.task_range[1] < self.task_range[0]:
+            raise ReproError(f"invalid task range {self.task_range}")
+
+    @classmethod
+    def paper_scale(cls, *, heterogeneous: bool = False) -> "ExperimentConfig":
+        """The published parameters (slow in pure Python: hours per figure)."""
+        return cls(heterogeneous=heterogeneous)
+
+    @classmethod
+    def default(cls, *, heterogeneous: bool = False) -> "ExperimentConfig":
+        """Scaled-down sweep preserving curve shape; minutes per figure."""
+        return cls(
+            ccrs=(0.1, 0.5, 1.0, 2.0, 5.0, 10.0),
+            proc_counts=(4, 8, 16, 32, 64),
+            task_range=(40, 120),
+            repetitions=10,
+            heterogeneous=heterogeneous,
+        )
+
+    @classmethod
+    def smoke(cls, *, heterogeneous: bool = False) -> "ExperimentConfig":
+        """Tiny sweep for tests and CI (seconds)."""
+        return cls(
+            ccrs=(0.5, 5.0),
+            proc_counts=(4, 8),
+            task_range=(20, 40),
+            repetitions=2,
+            heterogeneous=heterogeneous,
+        )
+
+    def with_(self, **kwargs) -> "ExperimentConfig":
+        """Functional update (frozen dataclass)."""
+        return replace(self, **kwargs)

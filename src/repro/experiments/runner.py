@@ -1,0 +1,105 @@
+"""Comparison runner: schedule one workload with several algorithms and
+aggregate the paper's improvement-ratio metric across repetitions."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core import SCHEDULERS
+from repro.core.metrics import improvement_ratio
+from repro.core.validate import validate_schedule
+from repro.exceptions import ReproError
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workloads import WorkloadInstance, paper_workload
+from repro.utils.rng import as_rng, spawn_rng
+
+
+@dataclass(frozen=True)
+class ComparisonResult:
+    """Makespans of all algorithms on one workload instance."""
+
+    instance: WorkloadInstance
+    makespans: dict[str, float]
+
+    def improvement_over(self, baseline: str, algorithm: str) -> float:
+        """Percent makespan improvement of ``algorithm`` over ``baseline``."""
+        try:
+            base = self.makespans[baseline]
+            cand = self.makespans[algorithm]
+        except KeyError as exc:
+            raise ReproError(f"algorithm {exc} was not run on this instance") from exc
+        return improvement_ratio(base, cand)
+
+
+def compare_once(
+    instance: WorkloadInstance,
+    algorithms: tuple[str, ...],
+    *,
+    validate: bool = True,
+) -> ComparisonResult:
+    """Schedule ``instance`` with each named algorithm."""
+    makespans: dict[str, float] = {}
+    for name in algorithms:
+        try:
+            scheduler_cls = SCHEDULERS[name]
+        except KeyError:
+            raise ReproError(
+                f"unknown algorithm {name!r}; known: {sorted(SCHEDULERS)}"
+            ) from None
+        schedule = scheduler_cls().schedule(instance.graph, instance.net)
+        if validate:
+            validate_schedule(schedule)
+        makespans[name] = schedule.makespan
+    return ComparisonResult(instance=instance, makespans=makespans)
+
+
+def improvement_series(
+    config: ExperimentConfig,
+    *,
+    sweep: str,
+    validate: bool = False,
+    with_sem: bool = False,
+) -> dict[str, list[float]]:
+    """Mean improvement over the baseline along one swept axis.
+
+    ``sweep`` is ``"ccr"`` (averaging over all processor counts — the paper's
+    Figures 1/3) or ``"procs"`` (averaging over all CCRs — Figures 2/4).
+    Returns ``{algorithm: [mean % improvement per sweep point]}`` for every
+    non-baseline algorithm, plus ``"_x"`` holding the sweep values; with
+    ``with_sem=True`` also ``"<algorithm>_sem"`` series holding the standard
+    error of each mean (the per-instance spread is large — see
+    EXPERIMENTS.md — so the error bars matter when reading the curves).
+    """
+    if sweep not in ("ccr", "procs"):
+        raise ReproError(f"sweep must be 'ccr' or 'procs', got {sweep!r}")
+    master = as_rng(config.seed)
+    candidates = [a for a in config.algorithms if a != config.baseline]
+    x_values = config.ccrs if sweep == "ccr" else config.proc_counts
+    series: dict[str, list[float]] = {name: [] for name in candidates}
+    sems: dict[str, list[float]] = {name: [] for name in candidates}
+    for x in x_values:
+        inner = config.ccrs if sweep == "procs" else config.proc_counts
+        per_alg: dict[str, list[float]] = {name: [] for name in candidates}
+        for y in inner:
+            ccr = x if sweep == "ccr" else float(y)
+            n_procs = int(y) if sweep == "ccr" else int(x)
+            for rep_rng in spawn_rng(master, config.repetitions):
+                instance = paper_workload(config, ccr, n_procs, rep_rng)
+                result = compare_once(instance, config.algorithms, validate=validate)
+                for name in candidates:
+                    per_alg[name].append(
+                        result.improvement_over(config.baseline, name)
+                    )
+        for name in candidates:
+            values = np.asarray(per_alg[name])
+            series[name].append(float(values.mean()))
+            sems[name].append(
+                float(values.std(ddof=1) / np.sqrt(len(values))) if len(values) > 1 else 0.0
+            )
+    series["_x"] = [float(x) for x in x_values]
+    if with_sem:
+        for name in candidates:
+            series[f"{name}_sem"] = sems[name]
+    return series

@@ -1,0 +1,116 @@
+"""Paired statistics for algorithm comparisons.
+
+The per-instance variance of improvement ratios is large (EXPERIMENTS.md),
+so point estimates alone mislead.  This module provides the paired analyses
+a careful reader wants:
+
+- :func:`paired_summary` — mean/median improvement, win/tie/loss counts,
+  bootstrap confidence interval, and the sign-test p-value for "the
+  candidate beats the baseline more often than not".
+- :func:`bootstrap_ci` — percentile bootstrap CI of the mean of any sample.
+
+All resampling is seeded and deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import comb
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.utils.rng import as_rng
+
+
+def bootstrap_ci(
+    values: list[float] | np.ndarray,
+    *,
+    confidence: float = 0.95,
+    n_resamples: int = 2000,
+    rng: int | np.random.Generator | None = 0,
+) -> tuple[float, float]:
+    """Percentile bootstrap confidence interval for the mean of ``values``."""
+    data = np.asarray(values, dtype=float)
+    if data.size == 0:
+        raise ReproError("cannot bootstrap an empty sample")
+    if not 0 < confidence < 1:
+        raise ReproError(f"confidence must be in (0, 1), got {confidence}")
+    gen = as_rng(rng)
+    idx = gen.integers(0, data.size, size=(n_resamples, data.size))
+    means = data[idx].mean(axis=1)
+    lo = float(np.percentile(means, 100 * (1 - confidence) / 2))
+    hi = float(np.percentile(means, 100 * (1 + confidence) / 2))
+    return lo, hi
+
+
+def sign_test_p(wins: int, losses: int) -> float:
+    """Two-sided sign-test p-value for ``wins`` vs ``losses`` (ties dropped)."""
+    n = wins + losses
+    if n == 0:
+        return 1.0
+    k = max(wins, losses)
+    # P(X >= k) for X ~ Binomial(n, 1/2), doubled and clamped.
+    tail = sum(comb(n, i) for i in range(k, n + 1)) / 2.0**n
+    return min(1.0, 2.0 * tail)
+
+
+@dataclass(frozen=True)
+class PairedSummary:
+    """Paired comparison of candidate vs baseline makespans."""
+
+    n: int
+    mean_improvement: float
+    median_improvement: float
+    ci_low: float
+    ci_high: float
+    wins: int
+    ties: int
+    losses: int
+    p_value: float
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.n}: mean {self.mean_improvement:+.1f}% "
+            f"[{self.ci_low:+.1f}, {self.ci_high:+.1f}] "
+            f"(median {self.median_improvement:+.1f}%), "
+            f"W/T/L {self.wins}/{self.ties}/{self.losses}, p={self.p_value:.3g}"
+        )
+
+
+def paired_summary(
+    baseline: list[float],
+    candidate: list[float],
+    *,
+    tie_eps: float = 1e-9,
+    rng: int | np.random.Generator | None = 0,
+) -> PairedSummary:
+    """Summarize paired makespans (same instances, two algorithms).
+
+    Improvements are per-instance ``100 * (base - cand) / base``; wins are
+    instances where the candidate is strictly faster.
+    """
+    base = np.asarray(baseline, dtype=float)
+    cand = np.asarray(candidate, dtype=float)
+    if base.shape != cand.shape or base.size == 0:
+        raise ReproError(
+            f"need equal non-empty samples, got {base.size} vs {cand.size}"
+        )
+    if (base <= 0).any():
+        raise ReproError("baseline makespans must be positive")
+    improvements = 100.0 * (base - cand) / base
+    wins = int((cand < base - tie_eps).sum())
+    losses = int((cand > base + tie_eps).sum())
+    ties = base.size - wins - losses
+    lo, hi = bootstrap_ci(improvements, rng=rng)
+    return PairedSummary(
+        n=int(base.size),
+        mean_improvement=float(improvements.mean()),
+        median_improvement=float(np.median(improvements)),
+        ci_low=lo,
+        ci_high=hi,
+        wins=wins,
+        ties=ties,
+        losses=losses,
+        p_value=sign_test_p(wins, losses),
+    )

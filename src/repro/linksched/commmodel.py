@@ -1,0 +1,56 @@
+"""Communication model knobs: switching mode and per-hop delay.
+
+The paper assumes cut-through (circuit-switched) communication and neglects
+the per-hop delay, noting both are model choices: "with every hop ... a
+delay might occur ... it is neglected in edge scheduling for simplicity,
+but it can be included if necessary", and BA "does not consider the possible
+division of communication into packets" (Section 2.2).  This module makes
+both choices explicit so they can be varied:
+
+- **cut-through** (default): data flows through intermediate links
+  immediately — the transfer may *start* on link ``m+1`` as soon as it
+  starts on link ``m`` (plus the hop delay) and must *finish* no earlier
+  than on link ``m`` (plus the hop delay).
+- **store-and-forward**: a link must receive the entire message before
+  forwarding — the transfer on link ``m+1`` starts no earlier than the
+  *finish* on link ``m`` (plus the hop delay).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Literal
+
+from repro.exceptions import SchedulingError
+
+SwitchingMode = Literal["cut-through", "store-and-forward"]
+
+
+@dataclass(frozen=True, slots=True)
+class CommModel:
+    """Switching mode plus fixed per-hop delay (time units per link hop)."""
+
+    mode: SwitchingMode = "cut-through"
+    hop_delay: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.mode not in ("cut-through", "store-and-forward"):
+            raise SchedulingError(f"unknown switching mode {self.mode!r}")
+        if self.hop_delay < 0:
+            raise SchedulingError(f"negative hop delay {self.hop_delay}")
+
+    def next_constraints(self, start: float, finish: float) -> tuple[float, float]:
+        """Constraints for the next route link given this link's slot.
+
+        Returns ``(earliest start, minimum finish)`` on the following link.
+        """
+        if self.mode == "cut-through":
+            return start + self.hop_delay, finish + self.hop_delay
+        return finish + self.hop_delay, 0.0
+
+
+#: The paper's model: cut-through with negligible hop delay.
+CUT_THROUGH = CommModel()
+
+#: Conventional packet-network model for comparison.
+STORE_AND_FORWARD = CommModel(mode="store-and-forward")

@@ -1,0 +1,176 @@
+"""OIHSA's optimal insertion with deferral (paper Section 4.4).
+
+Key idea: a slot already booked on link ``m`` for edge ``e`` may be *deferred*
+(started later) without violating causality, because ``e``'s booking on its
+**next** route link is unchanged — the slack is (Lemma 2)::
+
+    dt(e, L_m) = min( t_s(e, NL) - t_s(e, L_m),  t_f(e, NL) - t_f(e, L_m) )
+
+and ``dt = 0`` when ``L_m`` is the edge's last link (deferring would delay the
+already-fixed arrival).  Deferring a slot — and cascading into its successors,
+which consume their own slack — opens a larger idle gap in front of it.
+
+The insertion scan walks the queue tail -> head maintaining the paper's
+``accum`` (formula (2)): the largest amount slot ``n`` can slip given its own
+``dt`` and the room behind it.  A gap in front of slot ``n`` is feasible for
+the new transfer iff (formula (3))::
+
+    max(t_f(slot n-1), est) + duration'   <=   t_s(slot n) + accum_n
+
+(where duration' accounts for the min-finish causality bound).  The head-most
+feasible gap gives the earliest start (Theorem 1); committing shifts the
+affected slots right by exactly the overflow, which the scan guaranteed each
+can absorb.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.exceptions import SchedulingError
+from repro.linksched.commmodel import CUT_THROUGH, CommModel
+from repro.linksched.slots import TimeSlot
+from repro.linksched.state import LinkScheduleState
+from repro.network.topology import Link, Route
+from repro.types import EPS, EdgeKey
+
+
+def deferrable_time(
+    state: LinkScheduleState,
+    lid: int,
+    slot: TimeSlot,
+    comm: CommModel = CUT_THROUGH,
+) -> float:
+    """Lemma 2: how far ``slot`` may slip on link ``lid`` without breaking causality.
+
+    Cut-through: bounded by the next-link slot's start *and* finish (minus
+    the hop delay).  Store-and-forward: bounded by the requirement that the
+    next link starts only after this one finishes.
+    """
+    next_lid = state.next_link_of(slot.edge, lid)
+    if next_lid is None:
+        return 0.0
+    nxt = state.slot_of(slot.edge, next_lid)
+    if comm.mode == "cut-through":
+        dt = min(
+            nxt.start - comm.hop_delay - slot.start,
+            nxt.finish - comm.hop_delay - slot.finish,
+        )
+    else:
+        dt = nxt.start - comm.hop_delay - slot.finish
+    # Causality guarantees the slack is >= 0; clamp against float fuzz.
+    return max(0.0, dt)
+
+
+@dataclass(frozen=True, slots=True)
+class OptimalPlacement:
+    """Result of :func:`probe_optimal`: where the new slot goes and its times."""
+
+    index: int
+    start: float
+    finish: float
+    #: by how much the slot currently at ``index`` must be deferred (0 if none)
+    overflow: float
+
+
+def probe_optimal(
+    state: LinkScheduleState,
+    link: Link,
+    cost: float,
+    est: float,
+    min_finish: float = 0.0,
+    comm: CommModel = CUT_THROUGH,
+) -> OptimalPlacement:
+    """Earliest placement on ``link`` allowing deferral of existing slots.
+
+    Pure (no commit).  Falls back to appending after the last slot when no
+    deferral-assisted gap is feasible — the append position is never better
+    than a feasible insertion, so the scan keeps the head-most feasible gap.
+    """
+    if cost < 0:
+        raise SchedulingError(f"negative communication cost {cost}")
+    duration = cost / link.speed
+    slots = state.slots(link.lid)
+    n = len(slots)
+
+    # Tail placement is always feasible.
+    tail_prev = slots[-1].finish if slots else 0.0
+    start = max(tail_prev, est, min_finish - duration)
+    best = OptimalPlacement(n, start, start + duration, 0.0)
+
+    accum = 0.0
+    for i in range(n - 1, -1, -1):
+        slot = slots[i]
+        gap_after = (slots[i + 1].start - slot.finish) if i + 1 < n else math.inf
+        accum = min(deferrable_time(state, link.lid, slot, comm), accum + gap_after)
+        prev_finish = slots[i - 1].finish if i > 0 else 0.0
+        start = max(prev_finish, est, min_finish - duration)
+        finish = start + duration
+        if finish <= slot.start + accum + EPS:
+            overflow = max(0.0, finish - slot.start)
+            cand = OptimalPlacement(i, start, finish, min(overflow, accum))
+            # Head-most feasible gap == earliest start: keep scanning.
+            best = cand
+    return best
+
+
+def commit_optimal(
+    state: LinkScheduleState,
+    link: Link,
+    edge: EdgeKey,
+    placement: OptimalPlacement,
+    comm: CommModel = CUT_THROUGH,
+) -> None:
+    """Apply a placement: insert the new slot and cascade deferrals.
+
+    Each pushed slot's individual shift is asserted against its Lemma-2 slack
+    (an internal invariant; a violation means the probe's ``accum`` math and
+    the commit disagree — a bug, not a user error).
+    """
+    slots = state.slots(link.lid)
+    new_slot = TimeSlot(edge, placement.start, placement.finish)
+    suffix: list[TimeSlot] = [new_slot]
+    prev_finish = new_slot.finish
+    for i in range(placement.index, len(slots)):
+        s = slots[i]
+        if s.start + EPS >= prev_finish:
+            suffix.extend(slots[i:])
+            break
+        delta = prev_finish - s.start
+        slack = deferrable_time(state, link.lid, s, comm)
+        if delta > slack + EPS:
+            raise SchedulingError(
+                f"deferral cascade pushed edge {s.edge} on link {link.lid} by "
+                f"{delta:.12g} but its causality slack is only {slack:.12g}"
+            )
+        moved = s.shifted(delta)
+        suffix.append(moved)
+        prev_finish = moved.finish
+    state.replace_suffix(link.lid, placement.index, suffix)
+
+
+def schedule_edge_optimal(
+    state: LinkScheduleState,
+    edge: EdgeKey,
+    route: Route,
+    cost: float,
+    ready_time: float,
+    comm: CommModel = CUT_THROUGH,
+) -> float:
+    """Book ``edge`` along ``route`` with optimal insertion; return arrival time."""
+    if ready_time < 0:
+        raise SchedulingError(f"negative ready time {ready_time}")
+    if not route or cost == 0:
+        state.record_route(edge, ())
+        return ready_time
+    state.record_route(edge, tuple(l.lid for l in route))
+    est = ready_time
+    min_finish = 0.0
+    finish = ready_time
+    for link in route:
+        placement = probe_optimal(state, link, cost, est, min_finish, comm)
+        commit_optimal(state, link, edge, placement, comm)
+        est, min_finish = comm.next_constraints(placement.start, placement.finish)
+        finish = placement.finish
+    return finish

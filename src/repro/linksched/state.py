@@ -1,0 +1,162 @@
+"""Per-link schedule state with copy-on-write transactions.
+
+Schedulers repeatedly ask "what if I scheduled this task's communications
+toward processor P?" (BA probes every processor).  Rather than deep-copying
+all link queues per probe, :class:`LinkScheduleState` supports a single-level
+transaction: the first write to a link inside the transaction stashes the
+original queue object and replaces it with a copy, so rollback is O(links
+touched) and commit is O(1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.exceptions import SchedulingError
+from repro.linksched.slots import TimeSlot
+from repro.types import EdgeKey, LinkId
+
+
+@dataclass
+class _LinkQueue:
+    """One link's bookings: a sorted slot list plus an edge->slot index."""
+
+    slots: list[TimeSlot] = field(default_factory=list)
+    by_edge: dict[EdgeKey, TimeSlot] = field(default_factory=dict)
+
+    def copy(self) -> "_LinkQueue":
+        return _LinkQueue(list(self.slots), dict(self.by_edge))
+
+
+class LinkScheduleState:
+    """All link queues plus per-edge route bookkeeping."""
+
+    def __init__(self) -> None:
+        self._queues: dict[LinkId, _LinkQueue] = {}
+        self._routes: dict[EdgeKey, tuple[LinkId, ...]] = {}
+        self._txn_queues: dict[LinkId, _LinkQueue] | None = None
+        self._txn_routes: list[EdgeKey] | None = None
+
+    # -- transactions --------------------------------------------------------
+
+    @property
+    def in_transaction(self) -> bool:
+        return self._txn_queues is not None
+
+    def begin(self) -> None:
+        """Start a tentative-scheduling transaction (no nesting)."""
+        if self._txn_queues is not None:
+            raise SchedulingError("link-schedule transaction already open")
+        self._txn_queues = {}
+        self._txn_routes = []
+
+    def commit(self) -> None:
+        """Keep all changes made since :meth:`begin`."""
+        if self._txn_queues is None:
+            raise SchedulingError("no open link-schedule transaction")
+        self._txn_queues = None
+        self._txn_routes = None
+
+    def rollback(self) -> None:
+        """Discard all changes made since :meth:`begin`."""
+        if self._txn_queues is None or self._txn_routes is None:
+            raise SchedulingError("no open link-schedule transaction")
+        for lid, original in self._txn_queues.items():
+            self._queues[lid] = original
+        for edge in self._txn_routes:
+            del self._routes[edge]
+        self._txn_queues = None
+        self._txn_routes = None
+
+    def _writable(self, lid: LinkId) -> _LinkQueue:
+        queue = self._queues.get(lid)
+        if queue is None:
+            queue = _LinkQueue()
+            self._queues[lid] = queue
+            if self._txn_queues is not None and lid not in self._txn_queues:
+                # Remember the link was empty before the transaction.
+                self._txn_queues[lid] = _LinkQueue()
+            return queue
+        if self._txn_queues is not None and lid not in self._txn_queues:
+            self._txn_queues[lid] = queue
+            queue = queue.copy()
+            self._queues[lid] = queue
+        return queue
+
+    # -- reads ----------------------------------------------------------------
+
+    def slots(self, lid: LinkId) -> list[TimeSlot]:
+        """The link's booking queue (treat as read-only)."""
+        queue = self._queues.get(lid)
+        return queue.slots if queue is not None else []
+
+    def slot_of(self, edge: EdgeKey, lid: LinkId) -> TimeSlot:
+        """The slot edge ``edge`` occupies on link ``lid``."""
+        queue = self._queues.get(lid)
+        if queue is None or edge not in queue.by_edge:
+            raise SchedulingError(f"edge {edge} has no slot on link {lid}")
+        return queue.by_edge[edge]
+
+    def has_slot(self, edge: EdgeKey, lid: LinkId) -> bool:
+        queue = self._queues.get(lid)
+        return queue is not None and edge in queue.by_edge
+
+    def route_of(self, edge: EdgeKey) -> tuple[LinkId, ...]:
+        """The committed route of a scheduled edge."""
+        try:
+            return self._routes[edge]
+        except KeyError:
+            raise SchedulingError(f"edge {edge} has no recorded route") from None
+
+    def has_route(self, edge: EdgeKey) -> bool:
+        return edge in self._routes
+
+    def routes(self) -> dict[EdgeKey, tuple[LinkId, ...]]:
+        return dict(self._routes)
+
+    def next_link_of(self, edge: EdgeKey, lid: LinkId) -> LinkId | None:
+        """``NL(e, L)``: the link after ``lid`` on ``edge``'s route (None at tail)."""
+        route = self.route_of(edge)
+        try:
+            i = route.index(lid)
+        except ValueError:
+            raise SchedulingError(f"link {lid} is not on the route of edge {edge}") from None
+        return route[i + 1] if i + 1 < len(route) else None
+
+    def used_links(self) -> list[LinkId]:
+        return [lid for lid, q in self._queues.items() if q.slots]
+
+    # -- writes ---------------------------------------------------------------
+
+    def record_route(self, edge: EdgeKey, route: tuple[LinkId, ...]) -> None:
+        if edge in self._routes:
+            raise SchedulingError(f"edge {edge} already has a recorded route")
+        self._routes[edge] = route
+        if self._txn_routes is not None:
+            self._txn_routes.append(edge)
+
+    def insert(self, lid: LinkId, index: int, slot: TimeSlot) -> None:
+        """Insert a new slot at a known queue position."""
+        from repro.linksched.slots import insert_slot
+
+        queue = self._writable(lid)
+        if slot.edge in queue.by_edge:
+            raise SchedulingError(f"edge {slot.edge} already booked on link {lid}")
+        insert_slot(queue.slots, index, slot)
+        queue.by_edge[slot.edge] = slot
+
+    def replace_suffix(self, lid: LinkId, index: int, new_suffix: list[TimeSlot]) -> None:
+        """Replace ``slots[index:]`` — used by OIHSA's deferral cascade.
+
+        The new suffix may contain one new slot plus deferred (shifted) copies
+        of the old ones; the ``by_edge`` index is rebuilt for affected edges.
+        """
+        queue = self._writable(lid)
+        old_suffix = queue.slots[index:]
+        for s in old_suffix:
+            del queue.by_edge[s.edge]
+        for s in new_suffix:
+            if s.edge in queue.by_edge:
+                raise SchedulingError(f"edge {s.edge} booked twice on link {lid}")
+            queue.by_edge[s.edge] = s
+        queue.slots[index:] = new_suffix

@@ -1,0 +1,102 @@
+"""JSON and DOT serialization of network topologies.
+
+The JSON form captures the *resource* level (vertices, links, adjacency)
+rather than the builder calls, so a round trip reproduces link ids exactly —
+required for replaying schedules.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.exceptions import SerializationError
+from repro.network.topology import Link, NetworkTopology, Vertex
+
+_FORMAT = "repro.network/v1"
+
+
+def topology_to_json(net: NetworkTopology) -> str:
+    doc = {
+        "format": _FORMAT,
+        "name": net.name,
+        "vertices": [
+            {"id": v.vid, "kind": v.kind, "speed": v.speed, "name": v.name}
+            for v in net.vertices()
+        ],
+        "links": [
+            {
+                "id": l.lid,
+                "speed": l.speed,
+                "src": l.src,
+                "dst": l.dst,
+                "kind": l.kind,
+                "members": list(l.members),
+                "name": l.name,
+            }
+            for l in net.links()
+        ],
+        "adjacency": {
+            str(v.vid): [[link.lid, nbr] for link, nbr in net.out_links(v.vid)]
+            for v in net.vertices()
+        },
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def topology_from_json(text: str) -> NetworkTopology:
+    try:
+        doc: dict[str, Any] = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != _FORMAT:
+        raise SerializationError(
+            f"not a {_FORMAT} document (format={doc.get('format') if isinstance(doc, dict) else None!r})"
+        )
+    net = NetworkTopology(name=str(doc.get("name", "network")))
+    try:
+        for v in doc["vertices"]:
+            vert = Vertex(int(v["id"]), v["kind"], float(v["speed"]), str(v.get("name", "")))
+            net._vertices[vert.vid] = vert
+            net._adj[vert.vid] = []
+        for l in doc["links"]:
+            link = Link(
+                int(l["id"]), float(l["speed"]), int(l["src"]), int(l["dst"]),
+                l.get("kind", "ptp"), tuple(int(m) for m in l.get("members", [])),
+                str(l.get("name", "")),
+            )
+            net._links[link.lid] = link
+        for vid_str, choices in doc["adjacency"].items():
+            vid = int(vid_str)
+            if vid not in net._vertices:
+                raise SerializationError(f"adjacency references unknown vertex {vid}")
+            for lid, nbr in choices:
+                net._adj[vid].append((net._links[int(lid)], int(nbr)))
+        net._next_vid = max(net._vertices, default=-1) + 1
+        net._next_lid = max(net._links, default=-1) + 1
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed vertex/link record: {exc}") from exc
+    return net
+
+
+def topology_to_dot(net: NetworkTopology) -> str:
+    """Render as Graphviz DOT; processors are boxes, switches ellipses."""
+    lines = [f'graph "{net.name}" {{']
+    for v in net.vertices():
+        shape = "box" if v.is_processor else "ellipse"
+        label = f"{v.name or v.vid}" + (f"\\ns={v.speed:g}" if v.is_processor else "")
+        lines.append(f'  v{v.vid} [shape={shape}, label="{label}"];')
+    drawn: set[int] = set()
+    for link in net.links():
+        if link.lid in drawn:
+            continue
+        drawn.add(link.lid)
+        if link.kind == "bus":
+            hub = f"bus{link.lid}"
+            lines.append(f'  {hub} [shape=point, label=""];')
+            for m in link.members:
+                lines.append(f"  v{m} -- {hub};")
+        else:
+            lines.append(f'  v{link.src} -- v{link.dst} [label="{link.speed:g}"];')
+    lines.append("}")
+    return "\n".join(lines)

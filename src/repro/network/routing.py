@@ -1,0 +1,138 @@
+"""Route search over network topologies.
+
+Two routing policies, matching the paper:
+
+- :func:`bfs_route` — BA's *minimal routing*: shortest path in hop count,
+  found by breadth-first search.  Static: ignores link speeds and load.
+- :func:`dijkstra_route` — OIHSA/BBSA's *modified routing*: Dijkstra where
+  relaxing a link asks a caller-supplied probe "when would this communication
+  finish on this link, given the current link schedules, if it becomes
+  available at time t?".  The route therefore adapts to live contention.
+
+Both tie-break deterministically (lowest link id wins) so schedules are
+reproducible.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from heapq import heappop, heappush
+from typing import Callable
+
+from repro.exceptions import RoutingError
+from repro.network.topology import Link, NetworkTopology, Route
+from repro.types import VertexId
+
+#: probe(link, ready_time) -> finish time of the communication on that link.
+LinkProbe = Callable[[Link, float], float]
+
+
+def _check_endpoints(net: NetworkTopology, src: VertexId, dst: VertexId) -> None:
+    for vid in (src, dst):
+        if not net.vertex(vid).is_processor:
+            raise RoutingError(f"route endpoint {vid} is not a processor")
+
+
+def bfs_route(net: NetworkTopology, src: VertexId, dst: VertexId) -> Route:
+    """Minimal (fewest-links) route from processor ``src`` to ``dst``.
+
+    Returns ``[]`` when ``src == dst``.  Ties between equal-hop paths break
+    toward smaller link ids, matching a deterministic BFS expansion order.
+    """
+    _check_endpoints(net, src, dst)
+    if src == dst:
+        return []
+    parent: dict[VertexId, tuple[VertexId, Link]] = {}
+    seen = {src}
+    frontier = deque([src])
+    while frontier:
+        u = frontier.popleft()
+        for link, v in sorted(net.out_links(u), key=lambda lv: lv[0].lid):
+            if v in seen:
+                continue
+            seen.add(v)
+            parent[v] = (u, link)
+            if v == dst:
+                frontier.clear()
+                break
+            frontier.append(v)
+    if dst not in parent:
+        raise RoutingError(
+            f"no route from processor {src} to {dst} in topology {net.name!r}"
+        )
+    route: Route = []
+    cur = dst
+    while cur != src:
+        prev, link = parent[cur]
+        route.append(link)
+        cur = prev
+    route.reverse()
+    return route
+
+
+def dijkstra_route(
+    net: NetworkTopology,
+    src: VertexId,
+    dst: VertexId,
+    ready_time: float,
+    probe: LinkProbe,
+) -> Route:
+    """Contention-aware route: minimize the communication's arrival time.
+
+    ``probe(link, t)`` must return the finish time of the communication on
+    ``link`` when the data is available to enter the link at time ``t``; it
+    must be monotone in ``t`` (later availability never finishes earlier),
+    which holds for every insertion policy in :mod:`repro.linksched`.  Under
+    that assumption this is a standard label-setting Dijkstra on arrival
+    times.
+
+    Equal arrival times are broken toward **fewer hops**: with cut-through
+    communication an idle detour often finishes exactly when the direct
+    route does, and preferring the short route avoids squandering link
+    capacity that later edges will need (the paper's "route paths with
+    relatively low network workload").
+    """
+    _check_endpoints(net, src, dst)
+    if src == dst:
+        return []
+    if ready_time < 0:
+        raise RoutingError(f"negative ready time {ready_time}")
+    dist: dict[VertexId, tuple[float, int]] = {src: (ready_time, 0)}
+    parent: dict[VertexId, tuple[VertexId, Link]] = {}
+    done: set[VertexId] = set()
+    # Heap entries carry (arrival, hops, vertex id); hops then vertex id are
+    # the deterministic tie-breaks.
+    heap: list[tuple[float, int, VertexId]] = [(ready_time, 0, src)]
+    while heap:
+        d, hops, u = heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        if u == dst:
+            break
+        for link, v in sorted(net.out_links(u), key=lambda lv: lv[0].lid):
+            if v in done:
+                continue
+            arrival = probe(link, d)
+            if arrival < d:
+                raise RoutingError(
+                    f"probe on link {link.lid} returned arrival {arrival} earlier "
+                    f"than availability {d}"
+                )
+            label = (arrival, hops + 1)
+            if label < dist.get(v, (float("inf"), 0)):
+                dist[v] = label
+                parent[v] = (u, link)
+                heappush(heap, (arrival, hops + 1, v))
+    if dst not in parent:
+        raise RoutingError(
+            f"no route from processor {src} to {dst} in topology {net.name!r}"
+        )
+    route: Route = []
+    cur = dst
+    while cur != src:
+        prev, link = parent[cur]
+        route.append(link)
+        cur = prev
+    route.reverse()
+    return route

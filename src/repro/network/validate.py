@@ -1,0 +1,57 @@
+"""Structural validation of network topologies."""
+
+from __future__ import annotations
+
+from repro.exceptions import TopologyError
+from repro.network.topology import NetworkTopology
+
+
+def validate_topology(net: NetworkTopology, *, require_connected: bool = True) -> None:
+    """Check structural invariants; raise :class:`TopologyError` on violation.
+
+    Checked: at least one processor, positive finite speeds, adjacency
+    consistency, and (by default) that every processor can reach every other
+    processor — a topology where some pair has no route cannot host arbitrary
+    task graphs.
+    """
+    procs = net.processors()
+    if not procs:
+        raise TopologyError(f"topology {net.name!r} has no processors")
+
+    for v in net.vertices():
+        if v.is_processor and not (0 < v.speed < float("inf")):
+            raise TopologyError(f"processor {v.vid} has invalid speed {v.speed}")
+    for link in net.links():
+        if not (0 < link.speed < float("inf")):
+            raise TopologyError(f"link {link.lid} has invalid speed {link.speed}")
+        net.vertex(link.src)
+        net.vertex(link.dst)
+        for m in link.members:
+            net.vertex(m)
+
+    for v in net.vertices():
+        for link, nbr in net.out_links(v.vid):
+            if net.link(link.lid) is not link:
+                raise TopologyError(
+                    f"adjacency of vertex {v.vid} references unregistered link {link.lid}"
+                )
+            net.vertex(nbr)
+
+    if require_connected and len(procs) > 1:
+        # Reachability from one processor covers all (links are symmetric by
+        # construction: full duplex adds both directions, half duplex and
+        # buses are bidirectional).
+        seen = {procs[0].vid}
+        stack = [procs[0].vid]
+        while stack:
+            u = stack.pop()
+            for _, v in net.out_links(u):
+                if v not in seen:
+                    seen.add(v)
+                    stack.append(v)
+        missing = [p.vid for p in procs if p.vid not in seen]
+        if missing:
+            raise TopologyError(
+                f"topology {net.name!r} is disconnected: processors {missing} "
+                f"unreachable from processor {procs[0].vid}"
+            )

@@ -1,0 +1,6 @@
+"""Processor-side scheduling: per-processor task timelines."""
+
+from repro.procsched.timeline import TaskSlot, find_task_gap
+from repro.procsched.state import ProcessorState, TaskPlacement
+
+__all__ = ["TaskSlot", "find_task_gap", "ProcessorState", "TaskPlacement"]

@@ -1,0 +1,68 @@
+"""Per-processor task timelines (non-preemptive execution slots)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.exceptions import SchedulingError
+from repro.types import TaskId
+
+
+@dataclass(frozen=True, slots=True)
+class TaskSlot:
+    """Execution of ``task`` over ``[start, finish)`` on one processor."""
+
+    task: TaskId
+    start: float
+    finish: float
+
+    def __post_init__(self) -> None:
+        if not (self.finish >= self.start >= 0):
+            raise SchedulingError(
+                f"invalid task slot for {self.task}: [{self.start}, {self.finish})"
+            )
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+def find_task_gap(
+    slots: Sequence[TaskSlot],
+    duration: float,
+    est: float,
+    *,
+    insertion: bool = True,
+) -> tuple[int, float, float]:
+    """Earliest placement of a ``duration``-long task starting at or after ``est``.
+
+    With ``insertion=True`` (the insertion technique) idle gaps between
+    existing tasks are considered; with ``insertion=False`` (end technique)
+    the task is appended after the last slot.  Returns
+    ``(index, start, finish)``.
+    """
+    if duration < 0:
+        raise SchedulingError(f"negative task duration {duration}")
+    if est < 0:
+        raise SchedulingError(f"negative earliest start time {est}")
+    if not insertion:
+        start = max(slots[-1].finish if slots else 0.0, est)
+        return len(slots), start, start + duration
+    prev_finish = 0.0
+    for i, slot in enumerate(slots):
+        start = max(prev_finish, est)
+        if start + duration <= slot.start:
+            return i, start, start + duration
+        prev_finish = slot.finish
+    start = max(prev_finish, est)
+    return len(slots), start, start + duration
+
+
+def insert_task_slot(slots: list[TaskSlot], index: int, slot: TaskSlot) -> None:
+    """Insert ``slot`` at ``index``, asserting no overlap (non-preemption)."""
+    if index > 0 and slots[index - 1].finish > slot.start:
+        raise SchedulingError(f"task slot {slot} overlaps {slots[index - 1]}")
+    if index < len(slots) and slot.finish > slots[index].start:
+        raise SchedulingError(f"task slot {slot} overlaps {slots[index]}")
+    slots.insert(index, slot)

@@ -1,0 +1,42 @@
+"""Task-graph (DAG) model: the workload side of edge scheduling.
+
+A :class:`TaskGraph` is a directed acyclic graph whose nodes carry computation
+costs and whose edges carry communication costs, exactly the ``G = (V, E, w,
+c)`` of the paper's Section 2.1.
+"""
+
+from repro.taskgraph.graph import Task, CommEdge, TaskGraph
+from repro.taskgraph.priorities import (
+    bottom_levels,
+    top_levels,
+    critical_path,
+    critical_path_length,
+    priority_list,
+)
+from repro.taskgraph.ccr import ccr_of, scale_to_ccr
+from repro.taskgraph.generators import random_layered_dag, random_fan_dag
+from repro.taskgraph import kernels
+from repro.taskgraph import workflows
+from repro.taskgraph.io import graph_to_json, graph_from_json, graph_to_dot
+from repro.taskgraph.validate import validate_graph
+
+__all__ = [
+    "Task",
+    "CommEdge",
+    "TaskGraph",
+    "bottom_levels",
+    "top_levels",
+    "critical_path",
+    "critical_path_length",
+    "priority_list",
+    "ccr_of",
+    "scale_to_ccr",
+    "random_layered_dag",
+    "random_fan_dag",
+    "kernels",
+    "workflows",
+    "graph_to_json",
+    "graph_from_json",
+    "graph_to_dot",
+    "validate_graph",
+]

@@ -1,0 +1,46 @@
+"""Communication-to-computation ratio (CCR) measurement and rescaling.
+
+The paper sweeps CCR over 0.1–10.  We use the standard definition: the mean
+communication cost over all edges divided by the mean computation cost over
+all tasks.  :func:`scale_to_ccr` rescales *edge* costs uniformly so workload
+structure and computation costs are untouched — exactly how CCR sweeps are
+constructed in the list-scheduling literature.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import GraphError
+from repro.taskgraph.graph import TaskGraph
+
+
+def ccr_of(graph: TaskGraph) -> float:
+    """Mean edge cost / mean task weight; 0.0 for a graph with no edges."""
+    if graph.num_tasks == 0:
+        raise GraphError("CCR of an empty graph is undefined")
+    if graph.num_edges == 0:
+        return 0.0
+    mean_comm = graph.total_comm() / graph.num_edges
+    mean_comp = graph.total_work() / graph.num_tasks
+    if mean_comp == 0:
+        raise GraphError("CCR undefined: graph has zero total computation")
+    return mean_comm / mean_comp
+
+
+def scale_to_ccr(graph: TaskGraph, target_ccr: float, name: str | None = None) -> TaskGraph:
+    """Return a copy of ``graph`` whose edge costs are scaled to ``target_ccr``."""
+    if target_ccr < 0:
+        raise GraphError(f"target CCR must be non-negative, got {target_ccr}")
+    if graph.num_edges == 0:
+        if target_ccr == 0:
+            return graph.copy()
+        raise GraphError("cannot scale a graph with no edges to a positive CCR")
+    current = ccr_of(graph)
+    if current == 0:
+        raise GraphError("cannot rescale a graph whose edges all have zero cost")
+    factor = target_ccr / current
+    out = TaskGraph(name=name if name is not None else f"{graph.name}@ccr={target_ccr:g}")
+    for t in graph.tasks():
+        out.add_task(t.tid, t.weight, t.name)
+    for e in graph.edges():
+        out.add_edge(e.src, e.dst, e.cost * factor)
+    return out

@@ -1,0 +1,123 @@
+"""Random task-graph generators.
+
+The paper builds its workloads "subject to literature [3]" (Bajaj & Agrawal),
+i.e. layered random DAGs: tasks are partitioned into levels, every non-entry
+task depends on at least one task of an earlier level, and extra edges are
+sprinkled with a density parameter.  Costs default to the paper's U(1, 1000).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.taskgraph.graph import TaskGraph
+from repro.utils.rng import as_rng
+
+
+def _uniform_cost(rng: np.random.Generator, lo: float, hi: float) -> float:
+    """The paper's U(i, j): a uniformly distributed integer in [i, j]."""
+    return float(rng.integers(int(lo), int(hi) + 1))
+
+
+def random_layered_dag(
+    n_tasks: int,
+    rng: int | np.random.Generator | None = None,
+    *,
+    weight_range: tuple[float, float] = (1, 1000),
+    cost_range: tuple[float, float] = (1, 1000),
+    shape: float = 1.0,
+    density: float = 0.25,
+    max_fan_in: int | None = None,
+    name: str | None = None,
+) -> TaskGraph:
+    """Generate a layered random DAG of ``n_tasks`` tasks.
+
+    Parameters
+    ----------
+    shape:
+        Controls width vs depth: the number of layers is drawn around
+        ``sqrt(n_tasks) / shape`` — ``shape > 1`` gives wider/shallower
+        graphs (more parallelism), ``shape < 1`` deeper chains.
+    density:
+        Probability of adding each optional extra edge between a task and a
+        task in a strictly later layer (a mandatory edge from some earlier
+        layer always exists, so the graph is connected downward).
+    max_fan_in:
+        Optional cap on the number of predecessors per task.
+    """
+    if n_tasks < 1:
+        raise GraphError(f"need at least one task, got {n_tasks}")
+    if not 0.0 <= density <= 1.0:
+        raise GraphError(f"density must be in [0, 1], got {density}")
+    if shape <= 0:
+        raise GraphError(f"shape must be positive, got {shape}")
+    gen = as_rng(rng)
+    graph = TaskGraph(name=name or f"layered-{n_tasks}")
+
+    mean_layers = max(1.0, np.sqrt(n_tasks) / shape)
+    n_layers = int(np.clip(gen.normal(mean_layers, mean_layers / 4), 1, n_tasks))
+
+    # Partition task ids into layers: every layer gets >= 1 task.
+    cuts = np.sort(gen.choice(np.arange(1, n_tasks), size=n_layers - 1, replace=False)) if n_layers > 1 else np.array([], dtype=int)
+    bounds = [0, *cuts.tolist(), n_tasks]
+    layers: list[list[int]] = [list(range(bounds[i], bounds[i + 1])) for i in range(n_layers)]
+
+    layer_of: dict[int, int] = {}
+    for li, layer in enumerate(layers):
+        for tid in layer:
+            graph.add_task(tid, _uniform_cost(gen, *weight_range))
+            layer_of[tid] = li
+
+    for li in range(1, n_layers):
+        for tid in layers[li]:
+            # Mandatory parent from a strictly earlier layer keeps the DAG
+            # connected top-down, as in the layered constructions of [3].
+            pl = int(gen.integers(0, li))
+            parent = int(gen.choice(layers[pl]))
+            graph.add_edge(parent, tid, _uniform_cost(gen, *cost_range))
+            if max_fan_in is not None and max_fan_in <= 1:
+                continue
+            # Optional extra parents.
+            candidates = [t for l in layers[:li] for t in l if t != parent]
+            if not candidates:
+                continue
+            n_extra = int(gen.binomial(len(candidates), density))
+            if max_fan_in is not None:
+                n_extra = min(n_extra, max_fan_in - 1)
+            if n_extra > 0:
+                for parent2 in gen.choice(candidates, size=min(n_extra, len(candidates)), replace=False):
+                    graph.add_edge(int(parent2), tid, _uniform_cost(gen, *cost_range))
+    return graph
+
+
+def random_fan_dag(
+    n_tasks: int,
+    rng: int | np.random.Generator | None = None,
+    *,
+    weight_range: tuple[float, float] = (1, 1000),
+    cost_range: tuple[float, float] = (1, 1000),
+    max_out_degree: int = 4,
+    name: str | None = None,
+) -> TaskGraph:
+    """Generate a random out-tree-with-shortcuts DAG.
+
+    Each task ``i > 0`` picks a random parent among lower-numbered tasks with
+    spare out-degree; useful as a second, structurally different random family
+    for robustness tests.
+    """
+    if n_tasks < 1:
+        raise GraphError(f"need at least one task, got {n_tasks}")
+    if max_out_degree < 1:
+        raise GraphError(f"max_out_degree must be >= 1, got {max_out_degree}")
+    gen = as_rng(rng)
+    graph = TaskGraph(name=name or f"fan-{n_tasks}")
+    out_deg = [0] * n_tasks
+    graph.add_task(0, _uniform_cost(gen, *weight_range))
+    for tid in range(1, n_tasks):
+        graph.add_task(tid, _uniform_cost(gen, *weight_range))
+        candidates = [p for p in range(tid) if out_deg[p] < max_out_degree]
+        parent = int(gen.choice(candidates)) if candidates else int(gen.integers(0, tid))
+        graph.add_edge(parent, tid, _uniform_cost(gen, *cost_range))
+        out_deg[parent] += 1
+    return graph

@@ -1,0 +1,59 @@
+"""JSON and DOT serialization of task graphs."""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.exceptions import SerializationError
+from repro.taskgraph.graph import TaskGraph
+
+_FORMAT = "repro.taskgraph/v1"
+
+
+def graph_to_json(graph: TaskGraph) -> str:
+    """Serialize to a stable, human-diffable JSON document."""
+    doc = {
+        "format": _FORMAT,
+        "name": graph.name,
+        "tasks": [
+            {"id": t.tid, "weight": t.weight, "name": t.name} for t in graph.tasks()
+        ],
+        "edges": [
+            {"src": e.src, "dst": e.dst, "cost": e.cost} for e in graph.edges()
+        ],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True)
+
+
+def graph_from_json(text: str) -> TaskGraph:
+    """Parse a document produced by :func:`graph_to_json`."""
+    try:
+        doc: dict[str, Any] = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON: {exc}") from exc
+    if not isinstance(doc, dict) or doc.get("format") != _FORMAT:
+        raise SerializationError(
+            f"not a {_FORMAT} document (format={doc.get('format') if isinstance(doc, dict) else None!r})"
+        )
+    graph = TaskGraph(name=str(doc.get("name", "taskgraph")))
+    try:
+        for t in doc["tasks"]:
+            graph.add_task(int(t["id"]), float(t["weight"]), str(t.get("name", "")))
+        for e in doc["edges"]:
+            graph.add_edge(int(e["src"]), int(e["dst"]), float(e["cost"]))
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed task/edge record: {exc}") from exc
+    return graph
+
+
+def graph_to_dot(graph: TaskGraph) -> str:
+    """Render as Graphviz DOT (node label = id:weight, edge label = cost)."""
+    lines = [f'digraph "{graph.name}" {{', "  rankdir=TB;"]
+    for t in graph.tasks():
+        label = f"{t.name or t.tid}\\nw={t.weight:g}"
+        lines.append(f'  n{t.tid} [label="{label}"];')
+    for e in graph.edges():
+        lines.append(f'  n{e.src} -> n{e.dst} [label="{e.cost:g}"];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,365 @@
+"""Structured task-graph kernels from the scheduling literature.
+
+These are the classic shapes used to stress schedulers: trees, fork-join,
+pipelines, wavefronts (Gaussian elimination / LU / Cholesky), butterflies
+(FFT), stencils and map-reduce.  All generators take either fixed unit costs
+or a seeded RNG drawing the paper's U(1, 1000) costs.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.taskgraph.graph import TaskGraph
+from repro.utils.rng import as_rng
+
+
+def _cost_fn(
+    rng: int | np.random.Generator | None,
+    weight_range: tuple[float, float],
+    cost_range: tuple[float, float],
+):
+    if rng is None:
+        return (lambda: float(weight_range[0])), (lambda: float(cost_range[0]))
+    gen = as_rng(rng)
+
+    def w() -> float:
+        return float(gen.integers(int(weight_range[0]), int(weight_range[1]) + 1))
+
+    def c() -> float:
+        return float(gen.integers(int(cost_range[0]), int(cost_range[1]) + 1))
+
+    return w, c
+
+
+def fork_join(
+    width: int,
+    rng: int | np.random.Generator | None = None,
+    *,
+    weight_range: tuple[float, float] = (1, 1000),
+    cost_range: tuple[float, float] = (1, 1000),
+) -> TaskGraph:
+    """One fork task, ``width`` parallel tasks, one join task."""
+    if width < 1:
+        raise GraphError(f"fork_join width must be >= 1, got {width}")
+    w, c = _cost_fn(rng, weight_range, cost_range)
+    g = TaskGraph(name=f"fork_join-{width}")
+    g.add_task(0, w(), "fork")
+    join = width + 1
+    g.add_task(join, w(), "join")
+    for i in range(1, width + 1):
+        g.add_task(i, w())
+        g.add_edge(0, i, c())
+        g.add_edge(i, join, c())
+    return g
+
+
+def pipeline(
+    length: int,
+    rng: int | np.random.Generator | None = None,
+    *,
+    weight_range: tuple[float, float] = (1, 1000),
+    cost_range: tuple[float, float] = (1, 1000),
+) -> TaskGraph:
+    """A linear chain of ``length`` tasks (zero parallelism)."""
+    if length < 1:
+        raise GraphError(f"pipeline length must be >= 1, got {length}")
+    w, c = _cost_fn(rng, weight_range, cost_range)
+    g = TaskGraph(name=f"pipeline-{length}")
+    for i in range(length):
+        g.add_task(i, w())
+        if i:
+            g.add_edge(i - 1, i, c())
+    return g
+
+
+def out_tree(
+    depth: int,
+    branching: int = 2,
+    rng: int | np.random.Generator | None = None,
+    *,
+    weight_range: tuple[float, float] = (1, 1000),
+    cost_range: tuple[float, float] = (1, 1000),
+) -> TaskGraph:
+    """A complete out-tree (data distribution) of the given depth."""
+    if depth < 1 or branching < 1:
+        raise GraphError("out_tree needs depth >= 1 and branching >= 1")
+    w, c = _cost_fn(rng, weight_range, cost_range)
+    g = TaskGraph(name=f"out_tree-d{depth}b{branching}")
+    g.add_task(0, w())
+    frontier = [0]
+    nid = 1
+    for _ in range(depth - 1):
+        nxt = []
+        for parent in frontier:
+            for _ in range(branching):
+                g.add_task(nid, w())
+                g.add_edge(parent, nid, c())
+                nxt.append(nid)
+                nid += 1
+        frontier = nxt
+    return g
+
+
+def in_tree(
+    depth: int,
+    branching: int = 2,
+    rng: int | np.random.Generator | None = None,
+    *,
+    weight_range: tuple[float, float] = (1, 1000),
+    cost_range: tuple[float, float] = (1, 1000),
+) -> TaskGraph:
+    """A complete in-tree (reduction) of the given depth."""
+    tree = out_tree(depth, branching, rng, weight_range=weight_range, cost_range=cost_range)
+    g = TaskGraph(name=f"in_tree-d{depth}b{branching}")
+    for t in tree.tasks():
+        g.add_task(t.tid, t.weight, t.name)
+    for e in tree.edges():
+        g.add_edge(e.dst, e.src, e.cost)
+    return g
+
+
+def divide_and_conquer(
+    depth: int,
+    rng: int | np.random.Generator | None = None,
+    *,
+    weight_range: tuple[float, float] = (1, 1000),
+    cost_range: tuple[float, float] = (1, 1000),
+) -> TaskGraph:
+    """Binary divide phase followed by a mirrored conquer phase."""
+    if depth < 1:
+        raise GraphError(f"divide_and_conquer depth must be >= 1, got {depth}")
+    w, c = _cost_fn(rng, weight_range, cost_range)
+    g = TaskGraph(name=f"dac-{depth}")
+    # Divide: complete binary out-tree of `depth` levels, ids level-ordered.
+    levels: list[list[int]] = []
+    nid = 0
+    for d in range(depth):
+        level = []
+        for _ in range(2**d):
+            g.add_task(nid, w())
+            level.append(nid)
+            nid += 1
+        levels.append(level)
+        if d:
+            for i, t in enumerate(level):
+                g.add_edge(levels[d - 1][i // 2], t, c())
+    # Conquer: mirrored in-tree.
+    prev = levels[-1]
+    for d in range(depth - 2, -1, -1):
+        level = []
+        for _ in range(2**d):
+            g.add_task(nid, w())
+            level.append(nid)
+            nid += 1
+        for i, t in enumerate(prev):
+            g.add_edge(t, level[i // 2], c())
+        prev = level
+    return g
+
+
+def gaussian_elimination(
+    n: int,
+    rng: int | np.random.Generator | None = None,
+    *,
+    weight_range: tuple[float, float] = (1, 1000),
+    cost_range: tuple[float, float] = (1, 1000),
+) -> TaskGraph:
+    """The classic Gaussian-elimination DAG on an ``n x n`` matrix.
+
+    For each elimination step ``k`` there is a pivot task ``T(k,k)`` and
+    update tasks ``T(k,j)`` for ``j > k``; ``T(k,k) -> T(k,j)`` and
+    ``T(k,j) -> T(k+1,j)`` (plus ``T(k,k+1) -> T(k+1,k+1)``).
+    """
+    if n < 2:
+        raise GraphError(f"gaussian_elimination needs n >= 2, got {n}")
+    w, c = _cost_fn(rng, weight_range, cost_range)
+    g = TaskGraph(name=f"gauss-{n}")
+    ids: dict[tuple[int, int], int] = {}
+    nid = 0
+    for k in range(n - 1):
+        for j in range(k, n):
+            ids[(k, j)] = nid
+            g.add_task(nid, w(), f"T{k},{j}")
+            nid += 1
+    for k in range(n - 1):
+        for j in range(k + 1, n):
+            g.add_edge(ids[(k, k)], ids[(k, j)], c())
+            if k + 1 <= n - 2 and j >= k + 1:
+                g.add_edge(ids[(k, j)], ids[(k + 1, j)], c())
+    return g
+
+
+def cholesky(
+    n: int,
+    rng: int | np.random.Generator | None = None,
+    *,
+    weight_range: tuple[float, float] = (1, 1000),
+    cost_range: tuple[float, float] = (1, 1000),
+) -> TaskGraph:
+    """Tiled Cholesky factorization DAG (POTRF/TRSM/SYRK dependencies)."""
+    if n < 1:
+        raise GraphError(f"cholesky needs n >= 1, got {n}")
+    w, c = _cost_fn(rng, weight_range, cost_range)
+    g = TaskGraph(name=f"cholesky-{n}")
+    nid = 0
+
+    def new(label: str) -> int:
+        nonlocal nid
+        g.add_task(nid, w(), label)
+        nid += 1
+        return nid - 1
+
+    potrf: dict[int, int] = {}
+    trsm: dict[tuple[int, int], int] = {}
+    syrk: dict[tuple[int, int], int] = {}
+    for k in range(n):
+        potrf[k] = new(f"potrf{k}")
+        if k > 0:
+            g.add_edge(syrk[(k, k - 1)], potrf[k], c())
+        for i in range(k + 1, n):
+            trsm[(i, k)] = new(f"trsm{i},{k}")
+            g.add_edge(potrf[k], trsm[(i, k)], c())
+            if k > 0:
+                g.add_edge(syrk[(i, k - 1)], trsm[(i, k)], c())
+        for i in range(k + 1, n):
+            syrk[(i, k)] = new(f"syrk{i},{k}")
+            g.add_edge(trsm[(i, k)], syrk[(i, k)], c())
+    return g
+
+
+def fft(
+    n_points: int,
+    rng: int | np.random.Generator | None = None,
+    *,
+    weight_range: tuple[float, float] = (1, 1000),
+    cost_range: tuple[float, float] = (1, 1000),
+) -> TaskGraph:
+    """Butterfly FFT DAG over ``n_points`` (power of two) points.
+
+    ``log2(n) + 1`` ranks of ``n`` tasks; task ``(r+1, i)`` depends on
+    ``(r, i)`` and ``(r, i ^ 2^r)``.
+    """
+    if n_points < 2 or n_points & (n_points - 1):
+        raise GraphError(f"fft needs a power-of-two point count >= 2, got {n_points}")
+    w, c = _cost_fn(rng, weight_range, cost_range)
+    g = TaskGraph(name=f"fft-{n_points}")
+    ranks = n_points.bit_length() - 1
+    ids = {}
+    nid = 0
+    for r in range(ranks + 1):
+        for i in range(n_points):
+            ids[(r, i)] = nid
+            g.add_task(nid, w(), f"F{r},{i}")
+            nid += 1
+    for r in range(ranks):
+        stride = 1 << r
+        for i in range(n_points):
+            g.add_edge(ids[(r, i)], ids[(r + 1, i)], c())
+            g.add_edge(ids[(r, i ^ stride)], ids[(r + 1, i)], c())
+    return g
+
+
+def stencil(
+    width: int,
+    steps: int,
+    rng: int | np.random.Generator | None = None,
+    *,
+    weight_range: tuple[float, float] = (1, 1000),
+    cost_range: tuple[float, float] = (1, 1000),
+) -> TaskGraph:
+    """1-D three-point stencil iterated ``steps`` times (wavefront DAG)."""
+    if width < 1 or steps < 1:
+        raise GraphError("stencil needs width >= 1 and steps >= 1")
+    w, c = _cost_fn(rng, weight_range, cost_range)
+    g = TaskGraph(name=f"stencil-{width}x{steps}")
+    ids = {}
+    nid = 0
+    for s in range(steps):
+        for x in range(width):
+            ids[(s, x)] = nid
+            g.add_task(nid, w(), f"S{s},{x}")
+            nid += 1
+    for s in range(1, steps):
+        for x in range(width):
+            for dx in (-1, 0, 1):
+                if 0 <= x + dx < width:
+                    g.add_edge(ids[(s - 1, x + dx)], ids[(s, x)], c())
+    return g
+
+
+def map_reduce(
+    mappers: int,
+    reducers: int,
+    rng: int | np.random.Generator | None = None,
+    *,
+    weight_range: tuple[float, float] = (1, 1000),
+    cost_range: tuple[float, float] = (1, 1000),
+) -> TaskGraph:
+    """Split -> mappers -> all-to-all shuffle -> reducers -> merge."""
+    if mappers < 1 or reducers < 1:
+        raise GraphError("map_reduce needs mappers >= 1 and reducers >= 1")
+    w, c = _cost_fn(rng, weight_range, cost_range)
+    g = TaskGraph(name=f"mapreduce-{mappers}x{reducers}")
+    g.add_task(0, w(), "split")
+    maps = []
+    for i in range(mappers):
+        tid = 1 + i
+        g.add_task(tid, w(), f"map{i}")
+        g.add_edge(0, tid, c())
+        maps.append(tid)
+    reds = []
+    for j in range(reducers):
+        tid = 1 + mappers + j
+        g.add_task(tid, w(), f"reduce{j}")
+        reds.append(tid)
+        for m in maps:
+            g.add_edge(m, tid, c())
+    merge = 1 + mappers + reducers
+    g.add_task(merge, w(), "merge")
+    for r in reds:
+        g.add_edge(r, merge, c())
+    return g
+
+
+def diamond(
+    size: int,
+    rng: int | np.random.Generator | None = None,
+    *,
+    weight_range: tuple[float, float] = (1, 1000),
+    cost_range: tuple[float, float] = (1, 1000),
+) -> TaskGraph:
+    """A ``size x size`` grid DAG (down and right dependencies)."""
+    if size < 1:
+        raise GraphError(f"diamond needs size >= 1, got {size}")
+    w, c = _cost_fn(rng, weight_range, cost_range)
+    g = TaskGraph(name=f"diamond-{size}")
+    def tid(i: int, j: int) -> int:
+        return i * size + j
+    for i in range(size):
+        for j in range(size):
+            g.add_task(tid(i, j), w())
+    for i in range(size):
+        for j in range(size):
+            if i + 1 < size:
+                g.add_edge(tid(i, j), tid(i + 1, j), c())
+            if j + 1 < size:
+                g.add_edge(tid(i, j), tid(i, j + 1), c())
+    return g
+
+
+#: Registry of kernels usable by name in experiment configs.
+KERNELS = {
+    "fork_join": fork_join,
+    "pipeline": pipeline,
+    "out_tree": out_tree,
+    "in_tree": in_tree,
+    "divide_and_conquer": divide_and_conquer,
+    "gaussian_elimination": gaussian_elimination,
+    "cholesky": cholesky,
+    "fft": fft,
+    "stencil": stencil,
+    "map_reduce": map_reduce,
+    "diamond": diamond,
+}

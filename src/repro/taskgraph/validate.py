@@ -1,0 +1,40 @@
+"""Structural validation of task graphs."""
+
+from __future__ import annotations
+
+from repro.exceptions import GraphError
+from repro.taskgraph.graph import TaskGraph
+
+
+def validate_graph(graph: TaskGraph, *, require_connected: bool = False) -> None:
+    """Check structural invariants; raise :class:`GraphError` on violation.
+
+    Checked: at least one task, acyclicity, non-negative finite costs,
+    adjacency consistency, and (optionally) weak connectivity.
+    """
+    if graph.num_tasks == 0:
+        raise GraphError("task graph has no tasks")
+
+    for t in graph.tasks():
+        if not (t.weight >= 0) or t.weight != t.weight or t.weight == float("inf"):
+            raise GraphError(f"task {t.tid} has invalid weight {t.weight}")
+    for e in graph.edges():
+        if not (e.cost >= 0) or e.cost != e.cost or e.cost == float("inf"):
+            raise GraphError(f"edge {e.src}->{e.dst} has invalid cost {e.cost}")
+
+    # Adjacency consistency (defensive: only violable by touching privates).
+    for tid in graph.task_ids():
+        for s in graph.successors(tid):
+            if not graph.has_edge(tid, s):
+                raise GraphError(f"successor list of {tid} references missing edge {tid}->{s}")
+        for p in graph.predecessors(tid):
+            if not graph.has_edge(p, tid):
+                raise GraphError(f"predecessor list of {tid} references missing edge {p}->{tid}")
+
+    graph.topological_order()  # raises CycleError on cycles
+
+    if require_connected and graph.num_tasks > 1:
+        import networkx as nx
+
+        if not nx.is_weakly_connected(graph.to_networkx()):
+            raise GraphError(f"task graph {graph.name!r} is not weakly connected")

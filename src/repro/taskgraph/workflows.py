@@ -1,0 +1,210 @@
+"""Scientific-workflow-shaped task graphs.
+
+Structural miniatures of the workflow families used across the scheduling
+literature (Pegasus workflow gallery shapes), complementing the regular
+kernels in :mod:`repro.taskgraph.kernels`:
+
+- :func:`montage_like` — astronomy mosaicking: wide projection fan, pairwise
+  difference stage, global fit, wide background-correction fan, gather/add.
+- :func:`epigenomics_like` — genome pipelines: several independent lanes of
+  deep per-chunk chains merged at the end.
+- :func:`ligo_like` — gravitational-wave inspiral: parallel template banks,
+  two-level reduction, second analysis wave.
+- :func:`cybershake_like` — seismic hazard: two generator tasks feeding many
+  extract/seismogram pairs, gathered twice.
+
+The shapes (fan widths, stage counts) follow the published workflow
+topologies; costs are drawn from the same U(1, 1000) family as the rest of
+the library so CCR rescaling works uniformly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import GraphError
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.kernels import _cost_fn
+
+
+def montage_like(
+    width: int = 8,
+    rng: int | np.random.Generator | None = None,
+    *,
+    weight_range: tuple[float, float] = (1, 1000),
+    cost_range: tuple[float, float] = (1, 1000),
+) -> TaskGraph:
+    """Montage-shaped mosaicking workflow over ``width`` input images."""
+    if width < 2:
+        raise GraphError(f"montage needs width >= 2, got {width}")
+    w, c = _cost_fn(rng, weight_range, cost_range)
+    g = TaskGraph(name=f"montage-{width}")
+    nid = 0
+
+    def new(label: str) -> int:
+        nonlocal nid
+        g.add_task(nid, w(), label)
+        nid += 1
+        return nid - 1
+
+    projects = [new(f"mProject{i}") for i in range(width)]
+    # Pairwise overlaps between neighbouring projections.
+    diffs = []
+    for i in range(width - 1):
+        d = new(f"mDiffFit{i}")
+        g.add_edge(projects[i], d, c())
+        g.add_edge(projects[i + 1], d, c())
+        diffs.append(d)
+    concat = new("mConcatFit")
+    for d in diffs:
+        g.add_edge(d, concat, c())
+    model = new("mBgModel")
+    g.add_edge(concat, model, c())
+    backgrounds = []
+    for i in range(width):
+        b = new(f"mBackground{i}")
+        g.add_edge(model, b, c())
+        g.add_edge(projects[i], b, c())
+        backgrounds.append(b)
+    imgtbl = new("mImgtbl")
+    for b in backgrounds:
+        g.add_edge(b, imgtbl, c())
+    add = new("mAdd")
+    g.add_edge(imgtbl, add, c())
+    shrink = new("mShrink")
+    g.add_edge(add, shrink, c())
+    new_jpeg = new("mJPEG")
+    g.add_edge(shrink, new_jpeg, c())
+    return g
+
+
+def epigenomics_like(
+    lanes: int = 4,
+    chain: int = 5,
+    rng: int | np.random.Generator | None = None,
+    *,
+    weight_range: tuple[float, float] = (1, 1000),
+    cost_range: tuple[float, float] = (1, 1000),
+) -> TaskGraph:
+    """Epigenomics-shaped pipeline: ``lanes`` parallel ``chain``-deep lanes."""
+    if lanes < 1 or chain < 1:
+        raise GraphError("epigenomics needs lanes >= 1 and chain >= 1")
+    w, c = _cost_fn(rng, weight_range, cost_range)
+    g = TaskGraph(name=f"epigenomics-{lanes}x{chain}")
+    nid = 0
+
+    def new(label: str) -> int:
+        nonlocal nid
+        g.add_task(nid, w(), label)
+        nid += 1
+        return nid - 1
+
+    split = new("fastqSplit")
+    lane_tails = []
+    for lane in range(lanes):
+        prev = split
+        for step in range(chain):
+            t = new(f"lane{lane}.step{step}")
+            g.add_edge(prev, t, c())
+            prev = t
+        lane_tails.append(prev)
+    merge = new("mapMerge")
+    for t in lane_tails:
+        g.add_edge(t, merge, c())
+    index = new("maqIndex")
+    g.add_edge(merge, index, c())
+    pileup = new("pileup")
+    g.add_edge(index, pileup, c())
+    return g
+
+
+def ligo_like(
+    banks: int = 6,
+    rng: int | np.random.Generator | None = None,
+    *,
+    weight_range: tuple[float, float] = (1, 1000),
+    cost_range: tuple[float, float] = (1, 1000),
+) -> TaskGraph:
+    """LIGO-inspiral-shaped: two waves of parallel banks with reductions."""
+    if banks < 2:
+        raise GraphError(f"ligo needs banks >= 2, got {banks}")
+    w, c = _cost_fn(rng, weight_range, cost_range)
+    g = TaskGraph(name=f"ligo-{banks}")
+    nid = 0
+
+    def new(label: str) -> int:
+        nonlocal nid
+        g.add_task(nid, w(), label)
+        nid += 1
+        return nid - 1
+
+    tmplt = [new(f"tmpltBank{i}") for i in range(banks)]
+    inspiral1 = []
+    for i, t in enumerate(tmplt):
+        a = new(f"inspiral1.{i}")
+        g.add_edge(t, a, c())
+        inspiral1.append(a)
+    thinca1 = new("thinca1")
+    for a in inspiral1:
+        g.add_edge(a, thinca1, c())
+    trig = [new(f"trigBank{i}") for i in range(banks)]
+    inspiral2 = []
+    for i, t in enumerate(trig):
+        g.add_edge(thinca1, t, c())
+        a = new(f"inspiral2.{i}")
+        g.add_edge(t, a, c())
+        inspiral2.append(a)
+    thinca2 = new("thinca2")
+    for a in inspiral2:
+        g.add_edge(a, thinca2, c())
+    return g
+
+
+def cybershake_like(
+    sites: int = 5,
+    rng: int | np.random.Generator | None = None,
+    *,
+    weight_range: tuple[float, float] = (1, 1000),
+    cost_range: tuple[float, float] = (1, 1000),
+) -> TaskGraph:
+    """CyberShake-shaped: two generators feed ``sites`` extract+seismogram pairs."""
+    if sites < 1:
+        raise GraphError(f"cybershake needs sites >= 1, got {sites}")
+    w, c = _cost_fn(rng, weight_range, cost_range)
+    g = TaskGraph(name=f"cybershake-{sites}")
+    nid = 0
+
+    def new(label: str) -> int:
+        nonlocal nid
+        g.add_task(nid, w(), label)
+        nid += 1
+        return nid - 1
+
+    sgt_x = new("preSGTx")
+    sgt_y = new("preSGTy")
+    peaks = []
+    for i in range(sites):
+        extract = new(f"extract{i}")
+        g.add_edge(sgt_x, extract, c())
+        g.add_edge(sgt_y, extract, c())
+        seis = new(f"seismogram{i}")
+        g.add_edge(extract, seis, c())
+        peak = new(f"peakVal{i}")
+        g.add_edge(seis, peak, c())
+        peaks.append(peak)
+    zip_seis = new("zipSeis")
+    zip_peak = new("zipPeak")
+    for i, p in enumerate(peaks):
+        g.add_edge(p, zip_peak, c())
+        # seismogram output also archived
+        g.add_edge(p - 1, zip_seis, c())
+    return g
+
+
+#: Registry of workflow shapes usable by name in experiment configs.
+WORKFLOWS = {
+    "montage": montage_like,
+    "epigenomics": epigenomics_like,
+    "ligo": ligo_like,
+    "cybershake": cybershake_like,
+}

@@ -1,0 +1,42 @@
+"""Shared scalar types and numeric tolerances.
+
+Times and costs throughout the library are ``float`` seconds (or abstract
+time units).  Scheduling arithmetic only composes ``max``/``min``/``+`` so it
+does not accumulate drift the way long summations would; validators still
+compare with the tolerance :data:`EPS` to be robust against the last-ulp
+differences that are unavoidable with heterogeneous (ratio) link speeds.
+"""
+
+from __future__ import annotations
+
+from typing import TypeAlias
+
+#: Identifier of a task in a :class:`repro.taskgraph.TaskGraph`.
+TaskId: TypeAlias = int
+
+#: Identifier of a vertex (processor or switch) in a network topology.
+VertexId: TypeAlias = int
+
+#: Identifier of a communication link in a network topology.
+LinkId: TypeAlias = int
+
+#: Key of a DAG communication edge: ``(source task id, destination task id)``.
+EdgeKey: TypeAlias = tuple[int, int]
+
+#: Absolute tolerance used by validators when comparing times.
+EPS: float = 1e-9
+
+
+def feq(a: float, b: float, eps: float = EPS) -> bool:
+    """Return True if ``a`` and ``b`` are equal within tolerance ``eps``."""
+    return abs(a - b) <= eps
+
+
+def fle(a: float, b: float, eps: float = EPS) -> bool:
+    """Return True if ``a <= b`` within tolerance ``eps``."""
+    return a <= b + eps
+
+
+def flt(a: float, b: float, eps: float = EPS) -> bool:
+    """Return True if ``a < b`` beyond tolerance ``eps``."""
+    return a < b - eps

@@ -1,0 +1,15 @@
+"""Small self-contained helpers shared across the library."""
+
+from repro.utils.rng import as_rng, spawn_rng
+from repro.utils.intervals import Interval, merge_intervals, total_length
+from repro.utils.tables import format_table, format_series
+
+__all__ = [
+    "as_rng",
+    "spawn_rng",
+    "Interval",
+    "merge_intervals",
+    "total_length",
+    "format_table",
+    "format_series",
+]

@@ -1,0 +1,94 @@
+"""Closed-open time intervals and basic interval algebra.
+
+The link- and processor-schedule engines reason about busy/idle windows; the
+helpers here keep that arithmetic in one audited place.  Intervals are
+half-open ``[start, finish)`` so abutting busy windows do not "overlap".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+
+@dataclass(frozen=True, slots=True)
+class Interval:
+    """A half-open time interval ``[start, finish)``.
+
+    ``finish`` may be ``math.inf`` for the open tail after the last busy slot.
+    A zero-length interval (``start == finish``) is allowed and treated as
+    empty.
+    """
+
+    start: float
+    finish: float
+
+    def __post_init__(self) -> None:
+        if self.finish < self.start:
+            raise ValueError(f"interval finish {self.finish} precedes start {self.start}")
+
+    @property
+    def length(self) -> float:
+        return self.finish - self.start
+
+    def is_empty(self) -> bool:
+        return self.finish <= self.start
+
+    def contains(self, t: float) -> bool:
+        """Whether instant ``t`` lies inside the half-open interval."""
+        return self.start <= t < self.finish
+
+    def overlaps(self, other: "Interval") -> bool:
+        """Whether the two half-open intervals share a positive-length window."""
+        return self.start < other.finish and other.start < self.finish
+
+    def intersection(self, other: "Interval") -> "Interval | None":
+        lo = max(self.start, other.start)
+        hi = min(self.finish, other.finish)
+        if hi <= lo:
+            return None
+        return Interval(lo, hi)
+
+    def shift(self, dt: float) -> "Interval":
+        return Interval(self.start + dt, self.finish + dt)
+
+
+def merge_intervals(intervals: Iterable[Interval]) -> list[Interval]:
+    """Union a set of intervals into a sorted list of disjoint intervals."""
+    items = sorted((iv for iv in intervals if not iv.is_empty()), key=lambda iv: iv.start)
+    merged: list[Interval] = []
+    for iv in items:
+        if merged and iv.start <= merged[-1].finish:
+            last = merged[-1]
+            if iv.finish > last.finish:
+                merged[-1] = Interval(last.start, iv.finish)
+        else:
+            merged.append(iv)
+    return merged
+
+
+def total_length(intervals: Iterable[Interval]) -> float:
+    """Total measure of the union of the intervals."""
+    return sum(iv.length for iv in merge_intervals(intervals))
+
+
+def gaps_between(intervals: Iterable[Interval], start: float, finish: float) -> list[Interval]:
+    """Idle windows inside ``[start, finish)`` not covered by ``intervals``."""
+    if finish < start:
+        raise ValueError("window finish precedes start")
+    busy = merge_intervals(intervals)
+    out: list[Interval] = []
+    cursor = start
+    for iv in busy:
+        if iv.finish <= start:
+            continue
+        if iv.start >= finish:
+            break
+        if iv.start > cursor:
+            out.append(Interval(cursor, min(iv.start, finish)))
+        cursor = max(cursor, iv.finish)
+        if cursor >= finish:
+            break
+    if cursor < finish:
+        out.append(Interval(cursor, finish))
+    return [iv for iv in out if not iv.is_empty()]

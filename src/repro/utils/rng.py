@@ -1,0 +1,34 @@
+"""Seeded random-number-generator helpers.
+
+Every stochastic entry point in the library accepts ``rng: int | Generator |
+None`` and normalizes it through :func:`as_rng`, so experiments are exactly
+reproducible from a single integer seed while interactive use stays
+convenient.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def as_rng(rng: int | np.random.Generator | None = None) -> np.random.Generator:
+    """Normalize a seed-or-generator argument to a :class:`numpy.random.Generator`.
+
+    ``None`` yields a fresh nondeterministic generator; an ``int`` seeds a new
+    generator; an existing generator is passed through unchanged (so callers
+    can thread one generator through a pipeline).
+    """
+    if isinstance(rng, np.random.Generator):
+        return rng
+    return np.random.default_rng(rng)
+
+
+def spawn_rng(rng: np.random.Generator, n: int) -> list[np.random.Generator]:
+    """Derive ``n`` independent child generators from ``rng``.
+
+    Used by sweep runners so each repetition has its own stream and results do
+    not depend on evaluation order.
+    """
+    if n < 0:
+        raise ValueError(f"cannot spawn {n} generators")
+    return [np.random.default_rng(s) for s in rng.bit_generator.seed_seq.spawn(n)]

@@ -1,0 +1,98 @@
+"""Plain-text table and series rendering for experiment reports.
+
+The benchmark harness prints paper-figure series as aligned text so that the
+reproduction can be inspected without a plotting stack (the session and CI
+environments are headless).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table."""
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    sep = "  ".join("-" * w for w in widths)
+    out = [line(list(headers)), sep]
+    out.extend(line(row) for row in str_rows)
+    return "\n".join(out)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[float]],
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render one or more y-series against shared x-values (figure-style)."""
+    headers = [x_label, *series.keys()]
+    for name, ys in series.items():
+        if len(ys) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(ys)} points but x has {len(x_values)}"
+            )
+    rows = [
+        [x, *(series[name][i] for name in series)] for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, float_fmt=float_fmt)
+
+
+def format_ascii_plot(
+    x_values: Sequence[float],
+    series: dict[str, Sequence[float]],
+    width: int = 60,
+    height: int = 16,
+) -> str:
+    """Very small dependency-free scatter/line plot for terminal reports.
+
+    One character per series (`*`, `o`, `+`, ...); collisions keep the first
+    series' marker.  Intended for eyeballing curve shape, not precision.
+    """
+    markers = "*o+x#@%&"
+    ys_all = [y for ys in series.values() for y in ys]
+    if not ys_all or not x_values:
+        return "(empty plot)"
+    y_lo, y_hi = min(ys_all), max(ys_all)
+    x_lo, x_hi = min(x_values), max(x_values)
+    if y_hi == y_lo:
+        y_hi = y_lo + 1.0
+    if x_hi == x_lo:
+        x_hi = x_lo + 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for (name, ys), marker in zip(series.items(), markers):
+        for x, y in zip(x_values, ys):
+            col = round((x - x_lo) / (x_hi - x_lo) * (width - 1))
+            row = round((y - y_lo) / (y_hi - y_lo) * (height - 1))
+            r, c = height - 1 - row, col
+            if grid[r][c] == " ":
+                grid[r][c] = marker
+    legend = "   ".join(
+        f"{marker}={name}" for (name, _), marker in zip(series.items(), markers)
+    )
+    top = f"{y_hi:10.2f} +" + "-" * width
+    bottom = f"{y_lo:10.2f} +" + "-" * width
+    body = [" " * 11 + "|" + "".join(row) for row in grid]
+    xaxis = " " * 12 + f"{x_lo:<10.2f}" + " " * max(0, width - 20) + f"{x_hi:>10.2f}"
+    return "\n".join([legend, top, *body, bottom, xaxis])

@@ -1,0 +1,15 @@
+"""Text rendering of schedules: Gantt charts and comparison reports."""
+
+from repro.viz.gantt import processor_gantt, link_gantt
+from repro.viz.report import schedule_report, comparison_report
+from repro.viz.svg import schedule_to_svg
+from repro.viz.trace import schedule_to_trace
+
+__all__ = [
+    "processor_gantt",
+    "link_gantt",
+    "schedule_report",
+    "comparison_report",
+    "schedule_to_svg",
+    "schedule_to_trace",
+]

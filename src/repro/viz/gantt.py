@@ -1,0 +1,82 @@
+"""ASCII Gantt charts for processors and network links.
+
+Headless-friendly: one row per resource, time flowing right, each busy span
+labelled with the task id (processors) or the edge (links).  Intended for
+eyeballing small schedules in examples and bug reports.
+"""
+
+from __future__ import annotations
+
+from repro.core.schedule import Schedule
+
+
+def _render_rows(
+    rows: list[tuple[str, list[tuple[float, float, str]]]],
+    horizon: float,
+    width: int,
+) -> str:
+    """Rows of (label, [(start, finish, tag)]) onto a character grid."""
+    if horizon <= 0:
+        return "(empty schedule)"
+    label_w = max((len(label) for label, _ in rows), default=0)
+    scale = width / horizon
+    lines = []
+    for label, spans in rows:
+        line = [" "] * width
+        for start, finish, tag in spans:
+            a = min(width - 1, int(start * scale))
+            b = min(width, max(a + 1, int(round(finish * scale))))
+            body = (tag + "=" * width)[: b - a]
+            if b - a >= 2:
+                body = body[:-1] + "|"
+            line[a:b] = body
+        lines.append(f"{label.rjust(label_w)} |{''.join(line)}")
+    axis = f"{'':{label_w}} +{'-' * width}"
+    ticks = f"{'':{label_w}}  0{'':{width - 12}}{horizon:10.1f}"
+    return "\n".join([*lines, axis, ticks])
+
+
+def processor_gantt(schedule: Schedule, width: int = 78) -> str:
+    """One row per processor, spans labelled with task ids."""
+    by_proc: dict[int, list[tuple[float, float, str]]] = {}
+    for pl in schedule.placements.values():
+        by_proc.setdefault(pl.processor, []).append((pl.start, pl.finish, f"t{pl.task}"))
+    rows = []
+    for proc in sorted(p.vid for p in schedule.net.processors()):
+        spans = sorted(by_proc.get(proc, []))
+        rows.append((schedule.net.vertex(proc).name or f"P{proc}", spans))
+    return _render_rows(rows, schedule.makespan, width)
+
+
+def link_gantt(schedule: Schedule, width: int = 78, max_links: int = 24) -> str:
+    """One row per used link; slot spans for BA/OIHSA, usage spans for BBSA."""
+    rows: list[tuple[str, list[tuple[float, float, str]]]] = []
+    if schedule.link_state is not None:
+        for lid in sorted(schedule.link_state.used_links())[:max_links]:
+            spans = [
+                (s.start, s.finish, f"{s.edge[0]}>{s.edge[1]}")
+                for s in schedule.link_state.slots(lid)
+            ]
+            rows.append((schedule.net.link(lid).name or f"L{lid}", spans))
+    elif schedule.bandwidth_state is not None:
+        lids = sorted(
+            {lid for r in schedule.bandwidth_state.routes().values() for lid in r}
+        )[:max_links]
+        for lid in lids:
+            prof = schedule.bandwidth_state.profile(lid)
+            spans = [
+                (t0, t1, f"{int(round(used * 100))}%") for t0, t1, used in prof.segments
+            ]
+            rows.append((schedule.net.link(lid).name or f"L{lid}", spans))
+    elif schedule.packet_state is not None:
+        for lid in sorted(schedule.packet_state.used_links())[:max_links]:
+            spans = [
+                (s.start, s.finish, f"{s.edge[0]}>{s.edge[1]}.{s.packet}")
+                for s in sorted(schedule.packet_state.slots(lid), key=lambda s: s.start)
+            ]
+            rows.append((schedule.net.link(lid).name or f"L{lid}", spans))
+    else:
+        return "(contention-free schedule: no link bookings)"
+    if not rows:
+        return "(no links used: all communication was processor-local)"
+    return _render_rows(rows, schedule.makespan, width)

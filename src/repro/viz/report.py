@@ -1,0 +1,68 @@
+"""Composite text reports for schedules and algorithm comparisons."""
+
+from __future__ import annotations
+
+from repro.core.metrics import (
+    comm_to_comp_time,
+    efficiency,
+    link_utilization,
+    schedule_length_ratio,
+    speedup,
+)
+from repro.core.schedule import Schedule
+from repro.utils.tables import format_table
+from repro.viz.gantt import link_gantt, processor_gantt
+
+
+def schedule_report(schedule: Schedule, *, gantt: bool = True, width: int = 78) -> str:
+    """Summary + metrics + (optionally) Gantt charts for one schedule."""
+    util = link_utilization(schedule)
+    busiest = max(util.items(), key=lambda kv: kv[1], default=None)
+    rows = [
+        ("makespan", f"{schedule.makespan:.2f}"),
+        ("speedup", f"{speedup(schedule):.2f}"),
+        ("efficiency", f"{efficiency(schedule):.2%}"),
+        ("SLR", f"{schedule_length_ratio(schedule):.2f}"),
+        ("processors used", f"{len(schedule.processors_used())}/{len(schedule.net.processors())}"),
+        ("links used", f"{len(util)}"),
+    ]
+    if busiest is not None:
+        rows.append(("busiest link", f"L{busiest[0]} at {busiest[1]:.0%} of makespan"))
+    if (
+        schedule.link_state is not None
+        or schedule.bandwidth_state is not None
+        or schedule.packet_state is not None
+    ):
+        rows.append(("comm/comp time", f"{comm_to_comp_time(schedule):.2f}"))
+    parts = [
+        schedule.summary(),
+        format_table(["metric", "value"], rows),
+    ]
+    if gantt:
+        parts.append("processors:")
+        parts.append(processor_gantt(schedule, width))
+        parts.append("links:")
+        parts.append(link_gantt(schedule, width))
+    return "\n\n".join(parts)
+
+
+def comparison_report(schedules: list[Schedule]) -> str:
+    """Side-by-side metric table for schedules of the same workload."""
+    if not schedules:
+        return "(no schedules)"
+    base = schedules[0].makespan
+    rows = []
+    for s in schedules:
+        rows.append(
+            [
+                s.algorithm,
+                s.makespan,
+                f"{100.0 * (base - s.makespan) / base:+.1f}%" if base > 0 else "n/a",
+                speedup(s),
+                len(s.processors_used()),
+            ]
+        )
+    return format_table(
+        ["algorithm", "makespan", f"vs {schedules[0].algorithm}", "speedup", "procs"],
+        rows,
+    )

@@ -1,0 +1,59 @@
+"""Shared fixtures: small graphs and topologies used across test modules."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.network.builders import fully_connected, random_wan, switched_cluster
+from repro.taskgraph.graph import TaskGraph
+
+
+@pytest.fixture
+def chain3() -> TaskGraph:
+    """t0 -> t1 -> t2, unit-ish costs."""
+    g = TaskGraph(name="chain3")
+    g.add_task(0, 2.0)
+    g.add_task(1, 3.0)
+    g.add_task(2, 4.0)
+    g.add_edge(0, 1, 5.0)
+    g.add_edge(1, 2, 6.0)
+    return g
+
+
+@pytest.fixture
+def diamond4() -> TaskGraph:
+    """t0 -> {t1, t2} -> t3."""
+    g = TaskGraph(name="diamond4")
+    for tid, w in enumerate((2.0, 3.0, 4.0, 1.0)):
+        g.add_task(tid, w)
+    g.add_edge(0, 1, 10.0)
+    g.add_edge(0, 2, 20.0)
+    g.add_edge(1, 3, 30.0)
+    g.add_edge(2, 3, 40.0)
+    return g
+
+
+@pytest.fixture
+def fork8() -> TaskGraph:
+    """One fork into 8 parallel tasks and a join (stresses contention)."""
+    from repro.taskgraph.kernels import fork_join
+
+    return fork_join(8, rng=7)
+
+
+@pytest.fixture
+def net2():
+    """Two processors, one full-duplex cable."""
+    return fully_connected(2)
+
+
+@pytest.fixture
+def net4():
+    """Four processors behind one switch."""
+    return switched_cluster(4)
+
+
+@pytest.fixture
+def wan16():
+    """Paper-style random WAN with 16 processors."""
+    return random_wan(16, rng=42)

@@ -1,0 +1,89 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+
+class TestInfo:
+    def test_lists_registries(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "oihsa" in out
+        assert "random_wan" in out
+        assert "gaussian_elimination" in out
+
+
+class TestSchedule:
+    def test_random_workload(self, capsys):
+        assert main(["schedule", "--tasks", "10", "--procs", "4", "--no-gantt"]) == 0
+        assert "makespan" in capsys.readouterr().out
+
+    def test_kernel_workload(self, capsys):
+        assert (
+            main(
+                [
+                    "schedule", "--kernel", "fork_join", "--size", "4",
+                    "--algorithm", "ba", "--procs", "4", "--ccr", "1.5",
+                    "--no-gantt",
+                ]
+            )
+            == 0
+        )
+        assert "ba:" in capsys.readouterr().out
+
+    def test_gantt_included_by_default(self, capsys):
+        main(["schedule", "--tasks", "6", "--procs", "2"])
+        assert "processors:" in capsys.readouterr().out
+
+    def test_every_algorithm(self, capsys):
+        for algo in ("classic", "ba", "oihsa", "bbsa"):
+            assert main(["schedule", "--tasks", "8", "--algorithm", algo, "--no-gantt"]) == 0
+
+
+class TestAblation:
+    def test_named(self, capsys):
+        assert main(["ablation", "edge_order", "--procs", "4"]) == 0
+        assert "descending-cost" in capsys.readouterr().out
+
+
+class TestFigures:
+    def test_smoke_single_figure(self, capsys):
+        assert main(["figures", "--scale", "smoke", "--only", "figure1"]) == 0
+        out = capsys.readouterr().out
+        assert "figure1" in out and "shape checks" in out
+
+
+class TestExport:
+    @pytest.mark.parametrize("fmt", ["svg", "trace", "json"])
+    def test_export_formats(self, tmp_path, capsys, fmt):
+        out = tmp_path / f"schedule.{fmt}"
+        assert (
+            main(
+                [
+                    "export", str(out), "--format", fmt, "--tasks", "8",
+                    "--procs", "4", "--ccr", "1.0",
+                ]
+            )
+            == 0
+        )
+        assert out.exists() and out.stat().st_size > 0
+        assert "wrote" in capsys.readouterr().out
+
+    def test_exported_json_reloads(self, tmp_path):
+        from repro.core.io import schedule_from_json
+        from repro.core.validate import validate_schedule
+
+        out = tmp_path / "s.json"
+        main(["export", str(out), "--format", "json", "--tasks", "6", "--procs", "3"])
+        validate_schedule(schedule_from_json(out.read_text()))

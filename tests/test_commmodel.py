@@ -1,0 +1,143 @@
+"""Tests for the switching-mode / hop-delay communication model."""
+
+import pytest
+
+from repro.core.ba import BAScheduler
+from repro.core.bbsa import BBSAScheduler
+from repro.core.oihsa import OIHSAScheduler
+from repro.core.validate import validate_schedule
+from repro.exceptions import SchedulingError
+from repro.linksched.commmodel import (
+    CUT_THROUGH,
+    STORE_AND_FORWARD,
+    CommModel,
+)
+from repro.linksched.insertion import schedule_edge_basic
+from repro.linksched.optimal_insertion import schedule_edge_optimal
+from repro.linksched.state import LinkScheduleState
+from repro.network.builders import linear_array, random_wan
+from repro.network.routing import bfs_route
+from repro.taskgraph.ccr import scale_to_ccr
+from repro.taskgraph.kernels import fork_join
+
+
+def route3(speed=1.0):
+    net = linear_array(3, link_speed=speed)
+    ps = [p.vid for p in net.processors()]
+    return net, bfs_route(net, ps[0], ps[2])
+
+
+class TestCommModel:
+    def test_defaults(self):
+        assert CUT_THROUGH.mode == "cut-through"
+        assert CUT_THROUGH.hop_delay == 0.0
+        assert STORE_AND_FORWARD.mode == "store-and-forward"
+
+    def test_bad_mode_rejected(self):
+        with pytest.raises(SchedulingError):
+            CommModel(mode="telepathy")
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SchedulingError):
+            CommModel(hop_delay=-1.0)
+
+    def test_next_constraints_cut_through(self):
+        comm = CommModel(hop_delay=2.0)
+        assert comm.next_constraints(10.0, 15.0) == (12.0, 17.0)
+
+    def test_next_constraints_store_and_forward(self):
+        comm = CommModel("store-and-forward", 2.0)
+        assert comm.next_constraints(10.0, 15.0) == (17.0, 0.0)
+
+
+class TestBasicInsertionModes:
+    def test_store_and_forward_serializes_hops(self):
+        net, route = route3()
+        state = LinkScheduleState()
+        arrival = schedule_edge_basic(
+            state, (0, 1), route, 10.0, 0.0, STORE_AND_FORWARD
+        )
+        assert arrival == 20.0  # two full 10-long hops back to back
+        s0 = state.slot_of((0, 1), route[0].lid)
+        s1 = state.slot_of((0, 1), route[1].lid)
+        assert s1.start == s0.finish
+
+    def test_cut_through_overlaps_hops(self):
+        net, route = route3()
+        state = LinkScheduleState()
+        arrival = schedule_edge_basic(state, (0, 1), route, 10.0, 0.0, CUT_THROUGH)
+        assert arrival == 10.0
+
+    def test_hop_delay_adds_per_hop(self):
+        net, route = route3()
+        state = LinkScheduleState()
+        arrival = schedule_edge_basic(
+            state, (0, 1), route, 10.0, 0.0, CommModel(hop_delay=3.0)
+        )
+        assert arrival == 13.0  # second hop shifted by one hop delay
+
+    def test_store_and_forward_with_delay(self):
+        net, route = route3()
+        state = LinkScheduleState()
+        arrival = schedule_edge_basic(
+            state, (0, 1), route, 10.0, 0.0, CommModel("store-and-forward", 3.0)
+        )
+        assert arrival == 23.0
+
+
+class TestOptimalInsertionModes:
+    def test_matches_basic_on_empty_links(self):
+        for comm in (CUT_THROUGH, STORE_AND_FORWARD, CommModel(hop_delay=2.0)):
+            net, route = route3()
+            s1, s2 = LinkScheduleState(), LinkScheduleState()
+            a_b = schedule_edge_basic(s1, (0, 1), route, 8.0, 1.0, comm)
+            a_o = schedule_edge_optimal(s2, (0, 1), route, 8.0, 1.0, comm)
+            assert a_o == a_b
+
+    def test_store_and_forward_deferral_respects_slack(self):
+        # Under store-and-forward the first-hop slot may slip until it abuts
+        # the next hop's start.
+        from repro.linksched.optimal_insertion import deferrable_time
+
+        net, route = route3()
+        state = LinkScheduleState()
+        schedule_edge_basic(state, (9, 9), [route[1]], 10.0, 30.0, STORE_AND_FORWARD)
+        schedule_edge_basic(state, (0, 1), route, 10.0, 0.0, STORE_AND_FORWARD)
+        slot0 = state.slot_of((0, 1), route[0].lid)
+        slot1 = state.slot_of((0, 1), route[1].lid)
+        slack = deferrable_time(state, route[0].lid, slot0, STORE_AND_FORWARD)
+        assert slack == pytest.approx(slot1.start - slot0.finish)
+
+
+class TestSchedulersUnderModes:
+    @pytest.mark.parametrize(
+        "comm",
+        [
+            CUT_THROUGH,
+            STORE_AND_FORWARD,
+            CommModel(hop_delay=4.0),
+            CommModel("store-and-forward", 4.0),
+        ],
+        ids=["ct", "sf", "ct+delay", "sf+delay"],
+    )
+    @pytest.mark.parametrize("cls", [BAScheduler, OIHSAScheduler, BBSAScheduler])
+    def test_schedules_validate(self, cls, comm):
+        graph = scale_to_ccr(fork_join(6, rng=1), 2.0)
+        net = random_wan(8, rng=3)
+        schedule = cls(comm=comm).schedule(graph, net)
+        validate_schedule(schedule)
+        assert schedule.comm == comm
+
+    def test_store_and_forward_never_faster(self):
+        graph = scale_to_ccr(fork_join(6, rng=2), 3.0)
+        net = random_wan(8, rng=5)
+        ct = OIHSAScheduler(comm=CUT_THROUGH).schedule(graph, net).makespan
+        sf = OIHSAScheduler(comm=STORE_AND_FORWARD).schedule(graph, net).makespan
+        assert sf >= ct - 1e-9
+
+    def test_hop_delay_never_speeds_up(self):
+        graph = scale_to_ccr(fork_join(6, rng=2), 3.0)
+        net = random_wan(8, rng=5)
+        fast = BBSAScheduler(comm=CUT_THROUGH).schedule(graph, net).makespan
+        slow = BBSAScheduler(comm=CommModel(hop_delay=10.0)).schedule(graph, net).makespan
+        assert slow >= fast - 1e-9

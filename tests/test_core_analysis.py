@@ -1,0 +1,104 @@
+"""Tests for repro.core.analysis (post-mortem analysis)."""
+
+import pytest
+
+from repro.core.analysis import (
+    contention_hotspots,
+    processor_breakdown,
+    schedule_critical_chain,
+)
+from repro.core.ba import BAScheduler
+from repro.core.bbsa import BBSAScheduler
+from repro.core.oihsa import OIHSAScheduler
+from repro.network.builders import switched_cluster
+from repro.taskgraph.ccr import scale_to_ccr
+from repro.taskgraph.graph import TaskGraph
+
+
+@pytest.fixture
+def schedule(fork8, wan16):
+    return OIHSAScheduler().schedule(scale_to_ccr(fork8, 2.0), wan16)
+
+
+class TestProcessorBreakdown:
+    def test_covers_all_processors(self, schedule, wan16):
+        loads = processor_breakdown(schedule)
+        assert {l.processor for l in loads} == {p.vid for p in wan16.processors()}
+
+    def test_busy_plus_idle_is_makespan(self, schedule):
+        for load in processor_breakdown(schedule):
+            assert load.busy + load.idle == pytest.approx(schedule.makespan)
+
+    def test_busy_matches_placements(self, schedule):
+        loads = {l.processor: l for l in processor_breakdown(schedule)}
+        for pl in schedule.placements.values():
+            assert loads[pl.processor].busy >= pl.finish - pl.start - 1e-9
+
+    def test_utilization_in_range(self, schedule):
+        for load in processor_breakdown(schedule):
+            assert 0.0 <= load.utilization <= 1.0
+
+    def test_task_counts_sum(self, schedule):
+        assert sum(l.n_tasks for l in processor_breakdown(schedule)) == len(
+            schedule.placements
+        )
+
+
+class TestCriticalChain:
+    def test_ends_at_makespan(self, schedule):
+        chain = schedule_critical_chain(schedule)
+        assert chain[-1].finish == pytest.approx(schedule.makespan)
+
+    def test_starts_at_zero(self, schedule):
+        chain = schedule_critical_chain(schedule)
+        assert chain[0].start == pytest.approx(0.0)
+
+    def test_links_are_contiguous_backward(self, schedule):
+        chain = schedule_critical_chain(schedule)
+        for a, b in zip(chain, chain[1:]):
+            # Each step begins no later than its successor starts.
+            assert a.start <= b.start + 1e-6
+
+    def test_alternates_tasks_and_comms_sanely(self, schedule):
+        chain = schedule_critical_chain(schedule)
+        kinds = {c.kind for c in chain}
+        assert kinds <= {"task", "comm"}
+        assert chain[-1].kind == "task"
+
+    def test_serial_chain_is_whole_graph(self, chain3):
+        from repro.network.builders import fully_connected
+
+        net = fully_connected(1)
+        s = BAScheduler().schedule(chain3, net)
+        chain = schedule_critical_chain(s)
+        tasks = [c.task for c in chain if c.kind == "task"]
+        assert tasks == [0, 1, 2]
+
+    def test_single_task(self):
+        from repro.network.builders import fully_connected
+
+        g = TaskGraph()
+        g.add_task(0, 5.0)
+        s = BAScheduler().schedule(g, fully_connected(1))
+        chain = schedule_critical_chain(s)
+        assert len(chain) == 1 and chain[0].task == 0
+
+
+class TestHotspots:
+    def test_contended_star_has_hotspots(self, fork8):
+        net = switched_cluster(8)
+        s = BAScheduler().schedule(scale_to_ccr(fork8, 4.0), net)
+        spots = contention_hotspots(s)
+        assert spots
+        assert spots[0].total_wait > 0
+        assert spots == sorted(spots, key=lambda h: -h.total_wait)
+
+    def test_bandwidth_schedule_returns_empty(self, fork8, wan16):
+        s = BBSAScheduler().schedule(fork8, wan16)
+        assert contention_hotspots(s) == []
+
+    def test_counts_match_route_usage(self, schedule):
+        spots = {h.lid: h for h in contention_hotspots(schedule)}
+        state = schedule.link_state
+        for lid, h in spots.items():
+            assert h.n_transfers == len(state.slots(lid))

@@ -1,0 +1,81 @@
+"""Tests for the discrete-event re-execution cross-check."""
+
+import dataclasses
+
+import pytest
+
+from repro.core import SCHEDULERS
+from repro.core.ba import BAScheduler
+from repro.core.eventsim import resimulate
+from repro.exceptions import ValidationError
+from repro.network.builders import random_wan
+from repro.taskgraph.ccr import scale_to_ccr
+from repro.taskgraph.generators import random_layered_dag
+
+
+@pytest.mark.parametrize("algo", sorted(SCHEDULERS))
+def test_every_scheduler_resimulates_exactly(algo):
+    g = scale_to_ccr(random_layered_dag(20, rng=3), 2.0)
+    net = random_wan(6, rng=4)
+    schedule = SCHEDULERS[algo]().schedule(g, net)
+    report = resimulate(schedule)
+    assert report.makespan == pytest.approx(schedule.makespan)
+    for tid, pl in schedule.placements.items():
+        assert report.task_finish[tid] == pytest.approx(pl.finish)
+
+
+@pytest.fixture
+def schedule(diamond4, wan16):
+    return BAScheduler().schedule(diamond4, wan16)
+
+
+class TestDivergenceDetection:
+    def test_too_early_start_detected(self, schedule):
+        # Pull a non-entry task's start before its data arrives.
+        tid = next(
+            t for t, pl in schedule.placements.items()
+            if schedule.graph.predecessors(t)
+        )
+        pl = schedule.placements[tid]
+        schedule.placements[tid] = dataclasses.replace(
+            pl, start=0.0, finish=pl.finish - pl.start
+        )
+        with pytest.raises(ValidationError):
+            resimulate(schedule)
+
+    def test_missing_arrival_detected(self, schedule):
+        key = next(iter(schedule.edge_arrivals))
+        del schedule.edge_arrivals[key]
+        with pytest.raises(ValidationError, match="no recorded arrival"):
+            resimulate(schedule)
+
+    def test_arrival_before_source_detected(self, schedule):
+        key = next(iter(schedule.edge_arrivals))
+        schedule.edge_arrivals[key] = -5.0
+        with pytest.raises(ValidationError):
+            resimulate(schedule)
+
+    def test_makespan_mismatch_detected(self, schedule):
+        # Stretch the last task beyond its recorded duration implicitly by
+        # shrinking its recorded finish.
+        tid = max(schedule.placements, key=lambda t: schedule.placements[t].finish)
+        pl = schedule.placements[tid]
+        schedule.placements[tid] = dataclasses.replace(pl, finish=pl.finish + 10.0)
+        with pytest.raises(ValidationError):
+            resimulate(schedule)
+
+    def test_deadlock_detected(self, chain3):
+        from repro.network.builders import fully_connected
+
+        net = fully_connected(2)
+        s = BAScheduler().schedule(chain3, net)
+        # Swap two tasks' processor-queue positions to create a cyclic wait:
+        # put t0 after t2 on the same processor while t2 still needs t0.
+        pl0, pl2 = s.placements[0], s.placements[2]
+        proc = pl0.processor
+        s.placements[2] = dataclasses.replace(
+            pl2, processor=proc, start=pl0.start - 0.5,
+            finish=pl0.start - 0.5 + (pl2.finish - pl2.start),
+        )
+        with pytest.raises(ValidationError):
+            resimulate(s)

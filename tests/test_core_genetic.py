@@ -1,0 +1,59 @@
+"""Tests for the genetic-algorithm mapping search."""
+
+import pytest
+
+from repro.core.ba import BAScheduler
+from repro.core.genetic import GeneticScheduler
+from repro.core.validate import validate_schedule
+from repro.exceptions import SchedulingError
+from repro.network.builders import random_wan
+from repro.taskgraph.ccr import scale_to_ccr
+from repro.taskgraph.generators import random_layered_dag
+
+
+class TestGenetic:
+    def test_validates(self):
+        g = scale_to_ccr(random_layered_dag(15, rng=1), 2.0)
+        net = random_wan(4, rng=2)
+        s = GeneticScheduler(population=6, generations=4, rng=3).schedule(g, net)
+        validate_schedule(s)
+        assert s.algorithm == "genetic"
+
+    def test_deterministic_given_seed(self):
+        g = random_layered_dag(12, rng=4)
+        net = random_wan(4, rng=5)
+        m1 = GeneticScheduler(population=6, generations=3, rng=7).schedule(g, net).makespan
+        m2 = GeneticScheduler(population=6, generations=3, rng=7).schedule(g, net).makespan
+        assert m1 == m2
+
+    def test_seeded_with_ba_never_much_worse(self):
+        g = scale_to_ccr(random_layered_dag(20, rng=6), 2.0)
+        net = random_wan(6, rng=8)
+        ba = BAScheduler().schedule(g, net).makespan
+        ga = GeneticScheduler(population=8, generations=6, rng=9).schedule(g, net).makespan
+        assert ga <= ba * 1.05
+
+    def test_random_start(self):
+        g = random_layered_dag(10, rng=10)
+        net = random_wan(4, rng=11)
+        s = GeneticScheduler(
+            population=4, generations=2, seed_with_ba=False, rng=12
+        ).schedule(g, net)
+        validate_schedule(s)
+
+    def test_more_generations_never_hurt(self):
+        g = scale_to_ccr(random_layered_dag(15, rng=13), 3.0)
+        net = random_wan(4, rng=14)
+        short = GeneticScheduler(population=6, generations=1, rng=15).schedule(g, net)
+        long = GeneticScheduler(population=6, generations=10, rng=15).schedule(g, net)
+        assert long.makespan <= short.makespan + 1e-9
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(SchedulingError):
+            GeneticScheduler(population=1)
+        with pytest.raises(SchedulingError):
+            GeneticScheduler(generations=0)
+        with pytest.raises(SchedulingError):
+            GeneticScheduler(mutation_rate=1.5)
+        with pytest.raises(SchedulingError):
+            GeneticScheduler(elite=16, population=16)

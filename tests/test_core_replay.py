@@ -1,0 +1,67 @@
+"""Tests for repro.core.replay (re-simulating placements under contention)."""
+
+import pytest
+
+from repro.core.ba import BAScheduler
+from repro.core.classic import ClassicScheduler
+from repro.core.replay import contention_penalty, replay_under_contention
+from repro.core.validate import validate_schedule
+from repro.exceptions import SchedulingError
+from repro.network.builders import random_wan, switched_cluster
+from repro.taskgraph.ccr import scale_to_ccr
+from repro.taskgraph.kernels import fork_join
+
+
+@pytest.fixture
+def classic_schedule(fork8):
+    net = switched_cluster(8)
+    graph = scale_to_ccr(fork8, 3.0)
+    return ClassicScheduler().schedule(graph, net)
+
+
+class TestReplay:
+    def test_replayed_schedule_validates(self, classic_schedule):
+        replayed = replay_under_contention(classic_schedule)
+        validate_schedule(replayed)
+
+    def test_mapping_preserved(self, classic_schedule):
+        replayed = replay_under_contention(classic_schedule)
+        for tid, pl in classic_schedule.placements.items():
+            assert replayed.placements[tid].processor == pl.processor
+
+    def test_algorithm_name_tagged(self, classic_schedule):
+        assert replay_under_contention(classic_schedule).algorithm == "classic+replay"
+
+    def test_contention_free_promise_is_broken(self, classic_schedule):
+        # A classic schedule spreading a contended fork-join over a star
+        # network must get slower once contention is simulated.
+        penalty = contention_penalty(classic_schedule)
+        assert penalty > 1.0
+
+    def test_contention_aware_schedule_replays_close(self, fork8):
+        # BA already accounts for contention; replaying its placements with
+        # the same engine should land in the same ballpark.
+        net = switched_cluster(8)
+        graph = scale_to_ccr(fork8, 3.0)
+        ba = BAScheduler().schedule(graph, net)
+        replayed = replay_under_contention(ba)
+        validate_schedule(replayed)
+        assert replayed.makespan <= ba.makespan * 1.5
+
+    def test_replay_on_wan(self, fork8):
+        net = random_wan(12, rng=3)
+        schedule = ClassicScheduler().schedule(scale_to_ccr(fork8, 2.0), net)
+        replayed = replay_under_contention(schedule)
+        validate_schedule(replayed)
+
+    def test_incomplete_schedule_rejected(self, classic_schedule):
+        del classic_schedule.placements[0]
+        with pytest.raises(SchedulingError):
+            replay_under_contention(classic_schedule)
+
+    def test_single_processor_noop_penalty(self, chain3):
+        from repro.network.builders import fully_connected
+
+        net = fully_connected(1)
+        schedule = ClassicScheduler().schedule(chain3, net)
+        assert contention_penalty(schedule) == pytest.approx(1.0)

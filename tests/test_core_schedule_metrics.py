@@ -1,0 +1,95 @@
+"""Unit tests for repro.core.schedule and repro.core.metrics."""
+
+import pytest
+
+from repro.core.ba import BAScheduler
+from repro.core.bbsa import BBSAScheduler
+from repro.core.classic import ClassicScheduler
+from repro.core.metrics import (
+    comm_to_comp_time,
+    efficiency,
+    improvement_ratio,
+    link_utilization,
+    makespan,
+    schedule_length_ratio,
+    speedup,
+)
+from repro.exceptions import ReproError, SchedulingError
+from repro.network.builders import fully_connected, switched_cluster
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.kernels import fork_join, pipeline
+
+
+@pytest.fixture
+def ba_schedule(diamond4, net4):
+    return BAScheduler().schedule(diamond4, net4)
+
+
+class TestSchedule:
+    def test_makespan_is_last_finish(self, ba_schedule):
+        assert ba_schedule.makespan == max(
+            p.finish for p in ba_schedule.placements.values()
+        )
+
+    def test_placement_lookup(self, ba_schedule):
+        assert ba_schedule.placement(0).task == 0
+        with pytest.raises(SchedulingError):
+            ba_schedule.placement(42)
+
+    def test_edge_route_lookup(self, ba_schedule):
+        for e in ba_schedule.graph.edges():
+            ba_schedule.edge_route(e.key)  # must not raise
+        with pytest.raises(SchedulingError):
+            ba_schedule.edge_route((9, 9))
+
+    def test_summary_mentions_algorithm(self, ba_schedule):
+        assert "ba" in ba_schedule.summary()
+
+    def test_processors_used_subset(self, ba_schedule, net4):
+        assert ba_schedule.processors_used() <= {p.vid for p in net4.processors()}
+
+
+class TestMetrics:
+    def test_improvement_ratio(self):
+        assert improvement_ratio(100.0, 75.0) == 25.0
+        assert improvement_ratio(100.0, 125.0) == -25.0
+
+    def test_improvement_ratio_bad_baseline(self):
+        with pytest.raises(ReproError):
+            improvement_ratio(0.0, 1.0)
+
+    def test_speedup_single_processor_is_one(self, chain3):
+        net = fully_connected(1)
+        s = ClassicScheduler().schedule(chain3, net)
+        assert speedup(s) == pytest.approx(1.0)
+
+    def test_speedup_bounded_by_processors(self, fork8):
+        net = switched_cluster(4)
+        s = BAScheduler().schedule(fork8, net)
+        assert 0 < speedup(s) <= 4.0 + 1e-9
+        assert 0 < efficiency(s) <= 1.0 + 1e-9
+
+    def test_slr_at_least_compute_bound(self):
+        g = pipeline(5)  # chain: makespan >= CP
+        net = fully_connected(2)
+        s = BAScheduler().schedule(g, net)
+        assert schedule_length_ratio(s) >= (g.total_work() /
+            (g.total_work() + g.total_comm())) - 1e-9
+
+    def test_link_utilization_range(self, fork8, wan16):
+        for cls in (BAScheduler, BBSAScheduler):
+            s = cls().schedule(fork8, wan16)
+            util = link_utilization(s)
+            assert util, "contended fork-join must use links"
+            assert all(0 <= u <= 1 + 1e-9 for u in util.values())
+
+    def test_link_utilization_classic_empty(self, diamond4, net4):
+        s = ClassicScheduler().schedule(diamond4, net4)
+        assert link_utilization(s) == {}
+
+    def test_comm_to_comp(self, fork8, wan16):
+        s = BAScheduler().schedule(fork8, wan16)
+        assert comm_to_comp_time(s) >= 0.0
+
+    def test_makespan_fn_matches_property(self, ba_schedule):
+        assert makespan(ba_schedule) == ba_schedule.makespan

@@ -1,0 +1,203 @@
+"""Behavioral tests for the four schedulers (classic, BA, OIHSA, BBSA)."""
+
+import pytest
+
+from repro.core.ba import BAScheduler
+from repro.core.bbsa import BBSAScheduler
+from repro.core.classic import ClassicScheduler
+from repro.core.oihsa import OIHSAScheduler
+from repro.core.validate import validate_schedule
+from repro.exceptions import GraphError, SchedulingError, TopologyError
+from repro.network.builders import fully_connected, linear_array, random_wan, switched_cluster
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.kernels import fork_join
+
+ALL = [ClassicScheduler, BAScheduler, OIHSAScheduler, BBSAScheduler]
+
+
+@pytest.mark.parametrize("cls", ALL)
+class TestCommonBehaviour:
+    def test_single_task(self, cls, net2):
+        g = TaskGraph()
+        g.add_task(0, 6.0)
+        s = cls().schedule(g, net2)
+        validate_schedule(s)
+        assert s.makespan == 6.0
+
+    def test_chain_on_one_processor_net(self, cls, chain3):
+        net = fully_connected(1)
+        s = cls().schedule(chain3, net)
+        validate_schedule(s)
+        assert s.makespan == chain3.total_work()
+
+    def test_diamond_validates(self, cls, diamond4, net4):
+        s = cls().schedule(diamond4, net4)
+        validate_schedule(s)
+        assert s.makespan > 0
+
+    def test_fork_join_wan(self, cls, fork8, wan16):
+        s = cls().schedule(fork8, wan16)
+        validate_schedule(s)
+
+    def test_deterministic(self, cls, diamond4, wan16):
+        m1 = cls().schedule(diamond4, wan16).makespan
+        m2 = cls().schedule(diamond4, wan16).makespan
+        assert m1 == m2
+
+    def test_scheduler_reusable(self, cls, chain3, diamond4, net4):
+        sched = cls()
+        s1 = sched.schedule(chain3, net4)
+        s2 = sched.schedule(diamond4, net4)
+        validate_schedule(s1)
+        validate_schedule(s2)
+        # second run must not contain first run's state
+        assert set(s2.placements) == {t.tid for t in diamond4.tasks()}
+
+    def test_invalid_graph_rejected(self, cls, net2):
+        with pytest.raises(GraphError):
+            cls().schedule(TaskGraph(), net2)
+
+    def test_disconnected_net_rejected(self, cls, chain3):
+        from repro.network.topology import NetworkTopology
+
+        net = NetworkTopology()
+        net.add_processor()
+        net.add_processor()
+        with pytest.raises(TopologyError):
+            cls().schedule(chain3, net)
+
+    def test_heterogeneous_processors(self, cls, diamond4):
+        net = fully_connected(3, proc_speed=(1, 10), link_speed=(1, 10), rng=5)
+        s = cls().schedule(diamond4, net)
+        validate_schedule(s)
+
+    def test_zero_cost_edges(self, cls, net4):
+        g = TaskGraph()
+        g.add_task(0, 1.0)
+        g.add_task(1, 1.0)
+        g.add_edge(0, 1, 0.0)
+        s = cls().schedule(g, net4)
+        validate_schedule(s)
+
+    def test_makespan_at_least_critical_compute(self, cls, diamond4, net4):
+        # No schedule can beat the heaviest task on the fastest processor.
+        from repro.taskgraph.priorities import bottom_levels
+
+        s = cls().schedule(diamond4, net4)
+        fastest = max(p.speed for p in net4.processors())
+        heaviest = max(t.weight for t in diamond4.tasks())
+        assert s.makespan >= heaviest / fastest - 1e-9
+
+
+class TestClassic:
+    def test_no_link_state(self, diamond4, net4):
+        s = ClassicScheduler().schedule(diamond4, net4)
+        assert s.link_state is None and s.bandwidth_state is None
+
+    def test_ignores_contention(self, fork8):
+        # Classic sees a contention-free world: on a star topology its
+        # makespan is no larger than BA's contention-aware one.
+        net = switched_cluster(8)
+        classic = ClassicScheduler().schedule(fork8, net)
+        ba = BAScheduler().schedule(fork8, net)
+        assert classic.makespan <= ba.makespan + 1e-9
+
+    def test_direct_link_speed_used(self):
+        g = TaskGraph()
+        g.add_task(0, 1.0)
+        g.add_task(1, 1.0)
+        g.add_edge(0, 1, 10.0)
+        net = fully_connected(2, link_speed=5.0)
+        s = ClassicScheduler().schedule(g, net)
+        validate_schedule(s)
+        if len(s.processors_used()) == 2:
+            assert s.edge_arrivals[(0, 1)] == pytest.approx(1.0 + 10.0 / 5.0)
+
+
+class TestBA:
+    def test_modes_all_validate(self, diamond4, wan16):
+        for choice in ("blind-eft", "tentative"):
+            for shared in (True, False):
+                s = BAScheduler(processor_choice=choice, shared_ready_time=shared).schedule(
+                    diamond4, wan16
+                )
+                validate_schedule(s)
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SchedulingError):
+            BAScheduler(processor_choice="nope")
+
+    def test_tentative_not_worse_than_blind_on_contended_star(self, fork8):
+        net = switched_cluster(8)
+        blind = BAScheduler().schedule(fork8, net).makespan
+        tentative = BAScheduler(
+            processor_choice="tentative", shared_ready_time=False
+        ).schedule(fork8, net).makespan
+        assert tentative <= blind + 1e-9
+
+    def test_uses_bfs_minimal_routes(self, chain3):
+        net = linear_array(3)
+        s = BAScheduler().schedule(chain3, net)
+        validate_schedule(s)
+        for e in chain3.edges():
+            route = s.edge_route(e.key)
+            src = s.placements[e.src].processor
+            dst = s.placements[e.dst].processor
+            if src != dst:
+                from repro.network.routing import bfs_route
+
+                assert len(route) == len(bfs_route(net, src, dst))
+
+    def test_link_state_present(self, diamond4, net4):
+        s = BAScheduler().schedule(diamond4, net4)
+        assert s.link_state is not None
+
+
+class TestOIHSA:
+    def test_ablation_flags_validate(self, diamond4, wan16):
+        for routing in (True, False):
+            for insertion in (True, False):
+                for priority in (True, False):
+                    s = OIHSAScheduler(
+                        modified_routing=routing,
+                        optimal_insertion=insertion,
+                        edge_priority=priority,
+                    ).schedule(diamond4, wan16)
+                    validate_schedule(s)
+
+    def test_local_comm_exempt_flag(self, diamond4, wan16):
+        for exempt in (True, False):
+            s = OIHSAScheduler(local_comm_exempt=exempt).schedule(diamond4, wan16)
+            validate_schedule(s)
+
+    def test_beats_or_matches_ba_on_contended_fork(self, fork8):
+        net = random_wan(8, rng=17)
+        ba = BAScheduler().schedule(fork8, net).makespan
+        oihsa = OIHSAScheduler().schedule(fork8, net).makespan
+        assert oihsa <= ba * 1.15  # allows small noise, forbids blowups
+
+
+class TestBBSA:
+    def test_bandwidth_state_present(self, diamond4, net4):
+        s = BBSAScheduler().schedule(diamond4, net4)
+        assert s.bandwidth_state is not None
+        assert s.link_state is None
+
+    def test_flags_validate(self, diamond4, wan16):
+        for routing in (True, False):
+            s = BBSAScheduler(modified_routing=routing).schedule(diamond4, wan16)
+            validate_schedule(s)
+
+    def test_never_overcommits_links(self, fork8, wan16):
+        s = BBSAScheduler().schedule(fork8, wan16)
+        state = s.bandwidth_state
+        for lids in state.routes().values():
+            for lid in lids:
+                assert state.profile(lid).max_used() <= 1.0 + 1e-6
+
+    def test_not_worse_than_oihsa_on_hetero_links(self, fork8):
+        # Heterogeneous link speeds leave spare bandwidth that only BBSA uses.
+        net = random_wan(8, rng=23, link_speed=(1, 10))
+        oihsa = OIHSAScheduler().schedule(fork8, net).makespan
+        bbsa = BBSAScheduler().schedule(fork8, net).makespan
+        assert bbsa <= oihsa * 1.10

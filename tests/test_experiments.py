@@ -1,0 +1,176 @@
+"""Tests for repro.experiments (config, workloads, runner, figures, ablations)."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.experiments.ablations import ABLATIONS, run_ablation
+from repro.experiments.config import (
+    PAPER_CCRS,
+    PAPER_PROC_COUNTS,
+    ExperimentConfig,
+)
+from repro.experiments.figures import (
+    ALL_FIGURES,
+    PAPER_FIGURE1,
+    figure1,
+    figure3,
+)
+from repro.experiments.runner import compare_once, improvement_series
+from repro.experiments.workloads import paper_workload
+from repro.network.validate import validate_topology
+from repro.taskgraph.ccr import ccr_of
+from repro.taskgraph.validate import validate_graph
+
+
+class TestConfig:
+    def test_paper_grids(self):
+        assert len(PAPER_CCRS) == 19
+        assert PAPER_PROC_COUNTS == (2, 4, 8, 16, 32, 64, 128)
+
+    def test_paper_scale_uses_full_grids(self):
+        cfg = ExperimentConfig.paper_scale()
+        assert cfg.ccrs == PAPER_CCRS
+        assert cfg.task_range == (40, 1000)
+
+    def test_default_is_smaller(self):
+        cfg = ExperimentConfig.default()
+        assert cfg.task_range[1] < 1000
+
+    def test_baseline_must_be_included(self):
+        with pytest.raises(ReproError):
+            ExperimentConfig(algorithms=("oihsa",), baseline="ba")
+
+    def test_bad_repetitions(self):
+        with pytest.raises(ReproError):
+            ExperimentConfig(repetitions=0)
+
+    def test_with_(self):
+        cfg = ExperimentConfig.smoke().with_(repetitions=7)
+        assert cfg.repetitions == 7
+
+
+class TestWorkloads:
+    def test_instance_is_valid(self):
+        cfg = ExperimentConfig.smoke()
+        inst = paper_workload(cfg, ccr=2.0, n_procs=8, rng=1)
+        validate_graph(inst.graph)
+        validate_topology(inst.net)
+        assert len(inst.net.processors()) == 8
+        assert ccr_of(inst.graph) == pytest.approx(2.0)
+
+    def test_task_count_in_range(self):
+        cfg = ExperimentConfig.smoke()
+        for seed in range(5):
+            inst = paper_workload(cfg, 1.0, 4, rng=seed)
+            lo, hi = cfg.task_range
+            assert lo <= inst.graph.num_tasks <= hi
+
+    def test_heterogeneous_speeds(self):
+        cfg = ExperimentConfig.smoke(heterogeneous=True)
+        inst = paper_workload(cfg, 1.0, 8, rng=2)
+        speeds = {p.speed for p in inst.net.processors()}
+        assert speeds <= {float(v) for v in range(1, 11)}
+
+    def test_homogeneous_speeds_are_one(self):
+        cfg = ExperimentConfig.smoke()
+        inst = paper_workload(cfg, 1.0, 8, rng=3)
+        assert all(p.speed == 1.0 for p in inst.net.processors())
+        assert all(l.speed == 1.0 for l in inst.net.links())
+
+    def test_deterministic(self):
+        cfg = ExperimentConfig.smoke()
+        a = paper_workload(cfg, 1.0, 4, rng=5)
+        b = paper_workload(cfg, 1.0, 4, rng=5)
+        assert a.graph.num_edges == b.graph.num_edges
+        assert a.net.num_links == b.net.num_links
+
+
+class TestRunner:
+    def test_compare_once(self):
+        cfg = ExperimentConfig.smoke()
+        inst = paper_workload(cfg, 1.0, 4, rng=7)
+        result = compare_once(inst, ("ba", "oihsa", "bbsa"), validate=True)
+        assert set(result.makespans) == {"ba", "oihsa", "bbsa"}
+        assert all(m > 0 for m in result.makespans.values())
+
+    def test_unknown_algorithm(self):
+        cfg = ExperimentConfig.smoke()
+        inst = paper_workload(cfg, 1.0, 4, rng=7)
+        with pytest.raises(ReproError):
+            compare_once(inst, ("nope",))
+
+    def test_improvement_over(self):
+        cfg = ExperimentConfig.smoke()
+        inst = paper_workload(cfg, 1.0, 4, rng=7)
+        result = compare_once(inst, ("ba", "oihsa"))
+        imp = result.improvement_over("ba", "oihsa")
+        assert imp == pytest.approx(
+            100 * (result.makespans["ba"] - result.makespans["oihsa"]) / result.makespans["ba"]
+        )
+        with pytest.raises(ReproError):
+            result.improvement_over("ba", "bbsa")
+
+    def test_improvement_series_shape(self):
+        cfg = ExperimentConfig.smoke()
+        series = improvement_series(cfg, sweep="ccr")
+        assert series["_x"] == list(cfg.ccrs)
+        assert len(series["oihsa"]) == len(cfg.ccrs)
+        assert len(series["bbsa"]) == len(cfg.ccrs)
+
+    def test_improvement_series_procs(self):
+        cfg = ExperimentConfig.smoke()
+        series = improvement_series(cfg, sweep="procs")
+        assert series["_x"] == [float(p) for p in cfg.proc_counts]
+
+    def test_bad_sweep(self):
+        with pytest.raises(ReproError):
+            improvement_series(ExperimentConfig.smoke(), sweep="speed")
+
+    def test_series_deterministic(self):
+        cfg = ExperimentConfig.smoke()
+        assert improvement_series(cfg, sweep="ccr") == improvement_series(cfg, sweep="ccr")
+
+
+class TestFigures:
+    def test_figure1_smoke(self):
+        fig = figure1(ExperimentConfig.smoke())
+        assert fig.figure_id == "figure1"
+        assert set(fig.measured) == {"oihsa", "bbsa"}
+        assert len(fig.paper["oihsa"]) == len(fig.x_values)
+        text = fig.to_text()
+        assert "CCR" in text and "shape checks" in text
+
+    def test_figure3_requires_heterogeneous(self):
+        with pytest.raises(ReproError):
+            figure3(ExperimentConfig.smoke(heterogeneous=False))
+
+    def test_figure3_smoke(self):
+        fig = figure3(ExperimentConfig.smoke(heterogeneous=True))
+        assert fig.figure_id == "figure3"
+
+    def test_all_figures_registry(self):
+        assert set(ALL_FIGURES) == {"figure1", "figure2", "figure3", "figure4"}
+
+    def test_reference_grids_match(self):
+        assert len(PAPER_FIGURE1["oihsa"]) == len(PAPER_CCRS)
+
+    def test_shape_checks_present(self):
+        fig = figure1(ExperimentConfig.smoke())
+        assert "oihsa beats BA on average" in fig.shape_checks
+
+
+class TestAblations:
+    def test_known_ablation_runs(self):
+        cfg = ExperimentConfig.smoke()
+        result = run_ablation("routing", cfg, ccr=1.0, n_procs=8)
+        assert result.base == "bfs-routing"
+        assert "modified-routing" in result.improvements
+
+    def test_unknown_ablation(self):
+        with pytest.raises(ReproError):
+            run_ablation("nope")
+
+    def test_registry_contents(self):
+        assert set(ABLATIONS) == {
+            "routing", "insertion", "edge_order", "bandwidth", "ba_variants",
+        }

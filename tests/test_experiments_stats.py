@@ -1,0 +1,109 @@
+"""Tests for repro.experiments.stats (paired comparison statistics)."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import ReproError
+from repro.experiments.stats import (
+    PairedSummary,
+    bootstrap_ci,
+    paired_summary,
+    sign_test_p,
+)
+
+
+class TestBootstrap:
+    def test_ci_contains_mean_of_tight_sample(self):
+        lo, hi = bootstrap_ci([10.0] * 50)
+        assert lo == hi == 10.0
+
+    def test_ci_brackets_true_mean(self):
+        gen = np.random.default_rng(1)
+        data = gen.normal(5.0, 2.0, size=200)
+        lo, hi = bootstrap_ci(data, rng=2)
+        assert lo < data.mean() < hi
+        assert lo < 5.5 and hi > 4.5
+
+    def test_deterministic(self):
+        data = list(range(20))
+        assert bootstrap_ci(data, rng=7) == bootstrap_ci(data, rng=7)
+
+    def test_wider_confidence_is_wider(self):
+        gen = np.random.default_rng(3)
+        data = gen.normal(0, 1, size=50)
+        lo90, hi90 = bootstrap_ci(data, confidence=0.90, rng=1)
+        lo99, hi99 = bootstrap_ci(data, confidence=0.99, rng=1)
+        assert hi99 - lo99 >= hi90 - lo90
+
+    def test_errors(self):
+        with pytest.raises(ReproError):
+            bootstrap_ci([])
+        with pytest.raises(ReproError):
+            bootstrap_ci([1.0], confidence=1.5)
+
+
+class TestSignTest:
+    def test_balanced_is_one(self):
+        assert sign_test_p(5, 5) == 1.0
+
+    def test_no_data_is_one(self):
+        assert sign_test_p(0, 0) == 1.0
+
+    def test_lopsided_is_small(self):
+        assert sign_test_p(15, 0) < 0.001
+
+    def test_symmetric(self):
+        assert sign_test_p(12, 3) == sign_test_p(3, 12)
+
+    def test_matches_binomial(self):
+        # 9 wins, 1 loss: p = 2 * P(X >= 9), X ~ Bin(10, .5)
+        expected = 2 * (10 + 1) / 2**10
+        assert sign_test_p(9, 1) == pytest.approx(expected)
+
+
+class TestPairedSummary:
+    def test_counts(self):
+        base = [100.0, 100.0, 100.0, 100.0]
+        cand = [90.0, 110.0, 100.0, 80.0]
+        s = paired_summary(base, cand)
+        assert (s.wins, s.ties, s.losses) == (2, 1, 1)
+        assert s.n == 4
+        assert s.mean_improvement == pytest.approx((10 - 10 + 0 + 20) / 4)
+
+    def test_all_wins(self):
+        s = paired_summary([100.0] * 10, [50.0] * 10)
+        assert s.wins == 10 and s.losses == 0
+        assert s.p_value < 0.01
+        assert s.ci_low == s.ci_high == pytest.approx(50.0)
+
+    def test_errors(self):
+        with pytest.raises(ReproError):
+            paired_summary([1.0], [1.0, 2.0])
+        with pytest.raises(ReproError):
+            paired_summary([], [])
+        with pytest.raises(ReproError):
+            paired_summary([0.0], [1.0])
+
+    def test_str_mentions_key_numbers(self):
+        s = paired_summary([100.0, 100.0], [90.0, 95.0])
+        text = str(s)
+        assert "W/T/L 2/0/0" in text
+
+    def test_end_to_end_with_schedulers(self):
+        """OIHSA vs BA over several paper instances: summary is coherent."""
+        from repro.experiments.config import ExperimentConfig
+        from repro.experiments.runner import compare_once
+        from repro.experiments.workloads import paper_workload
+        from repro.utils.rng import as_rng, spawn_rng
+
+        cfg = ExperimentConfig.smoke()
+        base, cand = [], []
+        for r in spawn_rng(as_rng(11), 6):
+            inst = paper_workload(cfg, 2.0, 8, r)
+            res = compare_once(inst, ("ba", "oihsa"))
+            base.append(res.makespans["ba"])
+            cand.append(res.makespans["oihsa"])
+        s = paired_summary(base, cand)
+        assert isinstance(s, PairedSummary)
+        assert s.n == 6
+        assert s.ci_low <= s.mean_improvement <= s.ci_high

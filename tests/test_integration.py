@@ -1,0 +1,84 @@
+"""Integration matrix: every scheduler x topology family x kernel validates.
+
+This is the library's main safety net: any interaction bug between routing,
+insertion, deferral, bandwidth sharing and placement shows up here as a
+ValidationError.
+"""
+
+import pytest
+
+from repro.core import SCHEDULERS
+from repro.core.validate import validate_schedule
+from repro.network.builders import (
+    fat_tree,
+    fully_connected,
+    hypercube,
+    linear_array,
+    mesh2d,
+    random_wan,
+    ring,
+    shared_bus,
+    switched_cluster,
+    torus2d,
+)
+from repro.taskgraph import kernels
+from repro.taskgraph.ccr import scale_to_ccr
+from repro.taskgraph.generators import random_layered_dag
+
+TOPOLOGIES = {
+    "fully_connected": lambda: fully_connected(4),
+    "switched_cluster": lambda: switched_cluster(6),
+    "linear": lambda: linear_array(4),
+    "ring": lambda: ring(5),
+    "mesh": lambda: mesh2d(2, 3),
+    "torus": lambda: torus2d(3, 3),
+    "hypercube": lambda: hypercube(3),
+    "fat_tree": lambda: fat_tree(8),
+    "bus": lambda: shared_bus(4),
+    "wan": lambda: random_wan(12, rng=5),
+    "hetero_wan": lambda: random_wan(12, rng=6, proc_speed=(1, 10), link_speed=(1, 10)),
+}
+
+GRAPHS = {
+    "gauss": lambda: kernels.gaussian_elimination(4, rng=1),
+    "fft": lambda: kernels.fft(4, rng=2),
+    "fork_join": lambda: kernels.fork_join(6, rng=3),
+    "mapreduce": lambda: kernels.map_reduce(3, 3, rng=4),
+    "layered_hi_ccr": lambda: scale_to_ccr(random_layered_dag(30, rng=5), 8.0),
+    "layered_lo_ccr": lambda: scale_to_ccr(random_layered_dag(30, rng=6), 0.2),
+}
+
+
+@pytest.mark.parametrize("algo", sorted(SCHEDULERS))
+@pytest.mark.parametrize("topo", sorted(TOPOLOGIES))
+def test_all_schedulers_on_all_topologies(algo, topo, diamond4):
+    net = TOPOLOGIES[topo]()
+    schedule = SCHEDULERS[algo]().schedule(diamond4, net)
+    validate_schedule(schedule)
+
+
+@pytest.mark.parametrize("algo", sorted(SCHEDULERS))
+@pytest.mark.parametrize("graph", sorted(GRAPHS))
+def test_all_schedulers_on_all_kernels(algo, graph):
+    net = random_wan(8, rng=9)
+    schedule = SCHEDULERS[algo]().schedule(GRAPHS[graph](), net)
+    validate_schedule(schedule)
+
+
+@pytest.mark.parametrize("algo", ["ba", "oihsa", "bbsa"])
+def test_contended_bus_serializes_all_communication(algo):
+    """On one shared bus every cross-processor byte contends; the schedule
+    must still validate and the bus must never overlap bookings."""
+    net = shared_bus(4)
+    graph = kernels.fork_join(8, rng=11)
+    schedule = SCHEDULERS[algo]().schedule(graph, net)
+    validate_schedule(schedule)
+
+
+@pytest.mark.parametrize("algo", sorted(SCHEDULERS))
+def test_big_mixed_workload(algo):
+    graph = scale_to_ccr(random_layered_dag(60, rng=13, density=0.1), 3.0)
+    net = random_wan(16, rng=13, proc_speed=(1, 10), link_speed=(1, 10))
+    schedule = SCHEDULERS[algo]().schedule(graph, net)
+    validate_schedule(schedule)
+    assert len(schedule.placements) == 60

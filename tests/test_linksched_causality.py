@@ -1,0 +1,93 @@
+"""Unit tests for repro.linksched.causality."""
+
+import pytest
+
+from repro.exceptions import ValidationError
+from repro.linksched.causality import check_route_causality, check_route_connectivity
+from repro.linksched.slots import TimeSlot
+from repro.linksched.state import LinkScheduleState
+from repro.network.builders import linear_array, shared_bus
+from repro.network.routing import bfs_route
+
+
+def booked_state(net, route, *, shift_second=0.0):
+    state = LinkScheduleState()
+    state.record_route((0, 1), tuple(l.lid for l in route))
+    state.insert(route[0].lid, 0, TimeSlot((0, 1), 1.0, 3.0))
+    state.insert(route[1].lid, 0, TimeSlot((0, 1), 1.0 + shift_second, 3.0 + shift_second))
+    return state
+
+
+class TestRouteCausality:
+    def _net(self):
+        net = linear_array(3, link_speed=1.0)
+        ps = [p.vid for p in net.processors()]
+        return net, bfs_route(net, ps[0], ps[2])
+
+    def test_valid_booking_passes(self):
+        net, route = self._net()
+        state = booked_state(net, route, shift_second=1.0)
+        check_route_causality(state, net, (0, 1), 2.0, ready_time=1.0)
+
+    def test_wrong_duration_rejected(self):
+        net, route = self._net()
+        state = booked_state(net, route)
+        with pytest.raises(ValidationError, match="duration"):
+            check_route_causality(state, net, (0, 1), 5.0)
+
+    def test_start_regression_rejected(self):
+        net, route = self._net()
+        state = booked_state(net, route, shift_second=-0.5)
+        with pytest.raises(ValidationError, match="causality bound"):
+            check_route_causality(state, net, (0, 1), 2.0)
+
+    def test_start_before_ready_rejected(self):
+        net, route = self._net()
+        state = booked_state(net, route)
+        with pytest.raises(ValidationError, match="before"):
+            check_route_causality(state, net, (0, 1), 2.0, ready_time=2.0)
+
+    def test_empty_route_passes(self):
+        net, _ = self._net()
+        state = LinkScheduleState()
+        state.record_route((0, 1), ())
+        check_route_causality(state, net, (0, 1), 2.0, ready_time=0.0)
+
+
+class TestRouteConnectivity:
+    def test_empty_route_same_processor(self):
+        net = linear_array(2)
+        p = net.processors()[0].vid
+        check_route_connectivity(net, (), p, p)
+
+    def test_empty_route_distinct_rejected(self):
+        net = linear_array(2)
+        a, b = (p.vid for p in net.processors())
+        with pytest.raises(ValidationError):
+            check_route_connectivity(net, (), a, b)
+
+    def test_valid_route(self):
+        net = linear_array(3)
+        ps = [p.vid for p in net.processors()]
+        route = tuple(l.lid for l in bfs_route(net, ps[0], ps[2]))
+        check_route_connectivity(net, route, ps[0], ps[2])
+
+    def test_wrong_destination_rejected(self):
+        net = linear_array(3)
+        ps = [p.vid for p in net.processors()]
+        route = tuple(l.lid for l in bfs_route(net, ps[0], ps[1]))
+        with pytest.raises(ValidationError):
+            check_route_connectivity(net, route, ps[0], ps[2])
+
+    def test_unreachable_hop_rejected(self):
+        net = linear_array(3)
+        ps = [p.vid for p in net.processors()]
+        far = tuple(l.lid for l in bfs_route(net, ps[1], ps[2]))
+        with pytest.raises(ValidationError):
+            check_route_connectivity(net, far, ps[0], ps[2])
+
+    def test_bus_route(self):
+        net = shared_bus(4)
+        ps = [p.vid for p in net.processors()]
+        (bus,) = list(net.links())
+        check_route_connectivity(net, (bus.lid,), ps[0], ps[2])

@@ -1,0 +1,98 @@
+"""Unit tests for repro.linksched.slots (gap search and queue invariants)."""
+
+import pytest
+
+from repro.exceptions import SchedulingError
+from repro.linksched.slots import TimeSlot, check_queue_invariants, find_gap, insert_slot
+
+
+def slot(a, b, edge=(0, 1)):
+    return TimeSlot(edge, a, b)
+
+
+class TestTimeSlot:
+    def test_duration(self):
+        assert slot(1.0, 3.0).duration == 2.0
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(SchedulingError):
+            slot(-1.0, 2.0)
+
+    def test_inverted_rejected(self):
+        with pytest.raises(SchedulingError):
+            slot(3.0, 2.0)
+
+    def test_shifted(self):
+        s = slot(1.0, 2.0).shifted(4.0)
+        assert (s.start, s.finish) == (5.0, 6.0)
+        assert s.edge == (0, 1)
+
+
+class TestFindGap:
+    def test_empty_queue(self):
+        assert find_gap([], 2.0, 3.0) == (0, 3.0, 5.0)
+
+    def test_before_first_slot(self):
+        q = [slot(10.0, 12.0)]
+        assert find_gap(q, 2.0, 0.0) == (0, 0.0, 2.0)
+
+    def test_gap_too_small_skipped(self):
+        q = [slot(1.0, 2.0), slot(3.0, 4.0)]
+        index, start, finish = find_gap(q, 1.5, 0.0)
+        assert index == 2
+        assert start == 4.0
+
+    def test_exact_fit(self):
+        q = [slot(0.0, 1.0), slot(3.0, 4.0)]
+        assert find_gap(q, 2.0, 0.0) == (1, 1.0, 3.0)
+
+    def test_est_pushes_into_later_gap(self):
+        q = [slot(2.0, 3.0)]
+        # est=1 leaves only a 1-wide gap before the slot; 1.5 doesn't fit.
+        assert find_gap(q, 1.5, 1.0) == (1, 3.0, 4.5)
+
+    def test_min_finish_delays_start(self):
+        # Slot must finish >= 10 even though the link is free from 0.
+        index, start, finish = find_gap([], 2.0, 0.0, min_finish=10.0)
+        assert (index, start, finish) == (0, 8.0, 10.0)
+
+    def test_min_finish_within_gap(self):
+        q = [slot(0.0, 1.0), slot(20.0, 21.0)]
+        index, start, finish = find_gap(q, 2.0, 0.0, min_finish=5.0)
+        assert (index, start, finish) == (1, 3.0, 5.0)
+
+    def test_zero_duration(self):
+        q = [slot(0.0, 5.0)]
+        index, start, finish = find_gap(q, 0.0, 1.0)
+        assert start == finish
+
+    def test_negative_duration_rejected(self):
+        with pytest.raises(SchedulingError):
+            find_gap([], -1.0, 0.0)
+
+    def test_negative_est_rejected(self):
+        with pytest.raises(SchedulingError):
+            find_gap([], 1.0, -0.5)
+
+
+class TestInsertAndInvariants:
+    def test_insert_preserves_order(self):
+        q = [slot(0.0, 1.0), slot(5.0, 6.0)]
+        insert_slot(q, 1, slot(2.0, 3.0, edge=(1, 2)))
+        check_queue_invariants(q)
+        assert [s.start for s in q] == [0.0, 2.0, 5.0]
+
+    def test_insert_overlap_predecessor_rejected(self):
+        q = [slot(0.0, 2.0)]
+        with pytest.raises(SchedulingError):
+            insert_slot(q, 1, slot(1.0, 3.0, edge=(1, 2)))
+
+    def test_insert_overlap_successor_rejected(self):
+        q = [slot(2.0, 4.0)]
+        with pytest.raises(SchedulingError):
+            insert_slot(q, 0, slot(0.0, 3.0, edge=(1, 2)))
+
+    def test_invariant_checker_catches_overlap(self):
+        q = [slot(0.0, 2.0), slot(1.0, 3.0, edge=(1, 2))]
+        with pytest.raises(SchedulingError):
+            check_queue_invariants(q)

@@ -1,0 +1,228 @@
+"""Unit tests for repro.network.builders."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network.builders import (
+    TOPOLOGY_BUILDERS,
+    fat_tree,
+    fully_connected,
+    hypercube,
+    linear_array,
+    mesh2d,
+    random_wan,
+    ring,
+    shared_bus,
+    switched_cluster,
+    torus2d,
+)
+from repro.network.validate import validate_topology
+
+
+class TestBasicShapes:
+    def test_fully_connected_link_count(self):
+        net = fully_connected(5)
+        assert net.num_links == 5 * 4  # directed pairs
+        validate_topology(net)
+
+    def test_switched_cluster(self):
+        net = switched_cluster(6)
+        assert len(net.processors()) == 6
+        assert len(net.switches()) == 1
+        validate_topology(net)
+
+    def test_linear_array(self):
+        net = linear_array(4)
+        assert net.num_links == 6  # 3 cables x 2 directions
+        validate_topology(net)
+
+    def test_ring(self):
+        net = ring(5)
+        assert net.num_links == 10
+        validate_topology(net)
+
+    def test_ring_too_small(self):
+        with pytest.raises(TopologyError):
+            ring(2)
+
+    def test_mesh2d(self):
+        net = mesh2d(3, 4)
+        assert len(net.processors()) == 12
+        # 3*3 horizontal + 2*4 vertical cables, duplexed
+        assert net.num_links == (9 + 8) * 2
+        validate_topology(net)
+
+    def test_torus_wraps(self):
+        net = torus2d(3, 3)
+        assert net.num_links == 2 * (9 + 9)
+        validate_topology(net)
+
+    def test_torus_small_dims_do_not_double_cable(self):
+        # 2-wide wrap would duplicate the existing neighbour cable; builder
+        # must skip it.
+        net = torus2d(2, 2)
+        validate_topology(net)
+        assert net.num_links == 8  # plain 2x2 mesh
+
+    def test_hypercube(self):
+        net = hypercube(3)
+        assert len(net.processors()) == 8
+        assert net.num_links == 2 * 12
+        validate_topology(net)
+
+    def test_fat_tree(self):
+        net = fat_tree(8, procs_per_leaf=4)
+        assert len(net.switches()) == 3  # root + 2 leaves
+        validate_topology(net)
+
+    def test_fat_tree_uplink_is_faster(self):
+        net = fat_tree(4, procs_per_leaf=4, link_speed=2.0, uplink_factor=3.0)
+        speeds = {l.speed for l in net.links()}
+        assert speeds == {2.0, 6.0}
+
+    def test_shared_bus(self):
+        net = shared_bus(4)
+        assert net.num_links == 1
+        validate_topology(net)
+
+    def test_shared_bus_too_small(self):
+        with pytest.raises(TopologyError):
+            shared_bus(1)
+
+
+class TestRandomWan:
+    def test_processor_count(self):
+        for n in (1, 4, 16, 40):
+            net = random_wan(n, rng=1)
+            assert len(net.processors()) == n
+            validate_topology(net)
+
+    def test_procs_per_switch_respected(self):
+        net = random_wan(64, rng=2, procs_per_switch=(4, 16))
+        for s in net.switches():
+            proc_nbrs = {
+                v for _, v in net.out_links(s.vid) if net.vertex(v).is_processor
+            }
+            assert 1 <= len(proc_nbrs) <= 16
+
+    def test_deterministic(self):
+        a = random_wan(20, rng=3)
+        b = random_wan(20, rng=3)
+        assert a.num_links == b.num_links
+        assert [l.speed for l in a.links()] == [l.speed for l in b.links()]
+
+    def test_heterogeneous_speeds(self):
+        net = random_wan(20, rng=4, proc_speed=(1, 10), link_speed=(1, 10))
+        speeds = {p.speed for p in net.processors()}
+        assert speeds <= set(range(1, 11))
+        assert len(speeds) > 1
+
+    def test_backbone_connected(self):
+        # With zero extra density, only the spanning tree keeps it connected.
+        net = random_wan(60, rng=5, extra_backbone_density=0.0)
+        validate_topology(net, require_connected=True)
+
+    def test_bad_ranges_rejected(self):
+        with pytest.raises(TopologyError):
+            random_wan(0)
+        with pytest.raises(TopologyError):
+            random_wan(4, procs_per_switch=(0, 4))
+        with pytest.raises(TopologyError):
+            random_wan(4, procs_per_switch=(5, 4))
+
+
+class TestSpeedSpecs:
+    def test_scalar(self):
+        net = fully_connected(3, proc_speed=2.0, link_speed=5.0)
+        assert all(p.speed == 2.0 for p in net.processors())
+        assert all(l.speed == 5.0 for l in net.links())
+
+    def test_range_draws_integers(self):
+        net = fully_connected(4, proc_speed=(1, 10), rng=6)
+        assert all(p.speed == int(p.speed) and 1 <= p.speed <= 10 for p in net.processors())
+
+    def test_callable(self):
+        net = fully_connected(3, link_speed=lambda: 7.5)
+        assert all(l.speed == 7.5 for l in net.links())
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(TopologyError):
+            fully_connected(3, link_speed=0.0)
+        with pytest.raises(TopologyError):
+            fully_connected(3, link_speed=(0, 5))
+        with pytest.raises(TopologyError):
+            fully_connected(3, link_speed=(5, 1))
+
+    def test_registry(self):
+        assert "random_wan" in TOPOLOGY_BUILDERS
+        assert len(TOPOLOGY_BUILDERS) == 12
+
+
+class TestTorus3dAndDragonfly:
+    def test_torus3d_counts(self):
+        from repro.network.builders import torus3d
+
+        net = torus3d((3, 3, 3))
+        assert len(net.processors()) == 27
+        validate_topology(net)
+        # 3 wrap dimensions of size 3: 3 links per node direction, 27*3 cables
+        assert net.num_links == 2 * 27 * 3
+
+    def test_torus3d_small_dims_no_duplicate_cables(self):
+        from repro.network.builders import torus3d
+
+        net = torus3d((2, 2, 3))
+        validate_topology(net)
+
+    def test_torus3d_single_processor(self):
+        from repro.network.builders import torus3d
+
+        net = torus3d((1, 1, 1))
+        assert len(net.processors()) == 1
+
+    def test_torus3d_bad_dims(self):
+        from repro.network.builders import torus3d
+
+        with pytest.raises(TopologyError):
+            torus3d((0, 2, 2))
+
+    def test_dragonfly_structure(self):
+        from repro.network.builders import dragonfly
+
+        net = dragonfly(groups=3, routers_per_group=2, procs_per_router=2)
+        assert len(net.processors()) == 12
+        assert len(net.switches()) == 6
+        validate_topology(net)
+
+    def test_dragonfly_global_links_faster(self):
+        from repro.network.builders import dragonfly
+
+        net = dragonfly(2, 2, 1, link_speed=1.0, global_factor=3.0)
+        speeds = sorted({l.speed for l in net.links()})
+        assert speeds == [1.0, 3.0]
+
+    def test_dragonfly_routes_cross_groups(self):
+        from repro.network.builders import dragonfly
+        from repro.network.routing import bfs_route
+
+        net = dragonfly(3, 2, 2, rng=1)
+        procs = [p.vid for p in net.processors()]
+        route = bfs_route(net, procs[0], procs[-1])
+        assert 2 <= len(route) <= 5
+        validate_topology(net)
+
+    def test_dragonfly_bad_args(self):
+        from repro.network.builders import dragonfly
+
+        with pytest.raises(TopologyError):
+            dragonfly(groups=1)
+
+    def test_schedulable(self):
+        from repro.core.oihsa import OIHSAScheduler
+        from repro.core.validate import validate_schedule
+        from repro.network.builders import dragonfly, torus3d
+        from repro.taskgraph.kernels import fork_join
+
+        g = fork_join(6, rng=1)
+        for net in (torus3d((2, 2, 2)), dragonfly(3, 2, 2, rng=2)):
+            validate_schedule(OIHSAScheduler().schedule(g, net))

@@ -1,0 +1,102 @@
+"""Unit tests for repro.network.io and repro.network.validate."""
+
+import json
+
+import pytest
+
+from repro.exceptions import SerializationError, TopologyError
+from repro.network.builders import random_wan, shared_bus, switched_cluster
+from repro.network.io import topology_from_json, topology_to_dot, topology_to_json
+from repro.network.routing import bfs_route
+from repro.network.topology import NetworkTopology
+from repro.network.validate import validate_topology
+
+
+class TestJson:
+    def test_round_trip_preserves_ids(self):
+        net = random_wan(12, rng=1, link_speed=(1, 10))
+        back = topology_from_json(topology_to_json(net))
+        assert back.num_vertices == net.num_vertices
+        assert back.num_links == net.num_links
+        for l in net.links():
+            assert back.link(l.lid).speed == l.speed
+
+    def test_round_trip_preserves_routing(self):
+        net = random_wan(12, rng=2)
+        back = topology_from_json(topology_to_json(net))
+        ps = [p.vid for p in net.processors()]
+        assert [l.lid for l in bfs_route(net, ps[0], ps[5])] == [
+            l.lid for l in bfs_route(back, ps[0], ps[5])
+        ]
+
+    def test_round_trip_bus(self):
+        net = shared_bus(3)
+        back = topology_from_json(topology_to_json(net))
+        (bus,) = list(back.links())
+        assert bus.kind == "bus"
+        assert len(bus.members) == 3
+
+    def test_new_ids_continue_after_load(self):
+        net = switched_cluster(3)
+        back = topology_from_json(topology_to_json(net))
+        p = back.add_processor()
+        assert p.vid == net.num_vertices  # no collision
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SerializationError):
+            topology_from_json("oops")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializationError):
+            topology_from_json(json.dumps({"format": "nope"}))
+
+    def test_bad_adjacency_rejected(self):
+        doc = {
+            "format": "repro.network/v1",
+            "name": "x",
+            "vertices": [{"id": 0, "kind": "processor", "speed": 1.0, "name": ""}],
+            "links": [],
+            "adjacency": {"7": []},
+        }
+        with pytest.raises(SerializationError):
+            topology_from_json(json.dumps(doc))
+
+
+class TestDot:
+    def test_shapes(self, net4):
+        dot = topology_to_dot(net4)
+        assert "box" in dot and "ellipse" in dot
+
+    def test_bus_rendered_as_hub(self):
+        dot = topology_to_dot(shared_bus(3))
+        assert "bus0" in dot
+
+
+class TestValidate:
+    def test_builders_pass(self, wan16, net2, net4):
+        for net in (wan16, net2, net4):
+            validate_topology(net)
+
+    def test_no_processors_rejected(self):
+        net = NetworkTopology()
+        net.add_switch()
+        with pytest.raises(TopologyError):
+            validate_topology(net)
+
+    def test_disconnected_rejected(self):
+        net = NetworkTopology()
+        net.add_processor()
+        net.add_processor()
+        with pytest.raises(TopologyError):
+            validate_topology(net)
+
+    def test_disconnected_allowed_when_not_required(self):
+        net = NetworkTopology()
+        net.add_processor()
+        net.add_processor()
+        validate_topology(net, require_connected=False)
+
+    def test_single_processor_ok(self):
+        net = NetworkTopology()
+        net.add_processor()
+        validate_topology(net)

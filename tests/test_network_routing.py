@@ -1,0 +1,149 @@
+"""Unit tests for repro.network.routing (BFS + contention-aware Dijkstra)."""
+
+import pytest
+
+from repro.exceptions import RoutingError
+from repro.network.builders import (
+    fully_connected,
+    linear_array,
+    random_wan,
+    shared_bus,
+    switched_cluster,
+)
+from repro.network.routing import bfs_route, dijkstra_route
+from repro.network.topology import NetworkTopology
+
+
+def _vertex_walk_ok(net, route, src, dst):
+    """A route must be traversable hop by hop from src to dst."""
+    from repro.linksched.causality import check_route_connectivity
+
+    check_route_connectivity(net, tuple(l.lid for l in route), src, dst)
+
+
+class TestBfs:
+    def test_same_processor_empty(self, net4):
+        p = net4.processors()[0].vid
+        assert bfs_route(net4, p, p) == []
+
+    def test_direct_link(self, net2):
+        a, b = (p.vid for p in net2.processors())
+        route = bfs_route(net2, a, b)
+        assert len(route) == 1
+        assert route[0].src == a and route[0].dst == b
+
+    def test_through_switch(self, net4):
+        a, b = net4.processors()[0].vid, net4.processors()[1].vid
+        route = bfs_route(net4, a, b)
+        assert len(route) == 2
+        _vertex_walk_ok(net4, route, a, b)
+
+    def test_linear_array_hops(self):
+        net = linear_array(5)
+        ps = [p.vid for p in net.processors()]
+        assert len(bfs_route(net, ps[0], ps[4])) == 4
+
+    def test_minimal_over_wan(self):
+        net = random_wan(30, rng=9)
+        procs = [p.vid for p in net.processors()]
+        route = bfs_route(net, procs[0], procs[-1])
+        _vertex_walk_ok(net, route, procs[0], procs[-1])
+        assert 1 <= len(route) <= 6
+
+    def test_bus_single_hop(self):
+        net = shared_bus(4)
+        a, b = net.processors()[0].vid, net.processors()[3].vid
+        route = bfs_route(net, a, b)
+        assert len(route) == 1
+        assert route[0].kind == "bus"
+
+    def test_endpoint_must_be_processor(self, net4):
+        switch = net4.switches()[0].vid
+        proc = net4.processors()[0].vid
+        with pytest.raises(RoutingError):
+            bfs_route(net4, switch, proc)
+
+    def test_disconnected_raises(self):
+        net = NetworkTopology()
+        a = net.add_processor()
+        b = net.add_processor()
+        with pytest.raises(RoutingError):
+            bfs_route(net, a.vid, b.vid)
+
+    def test_deterministic(self):
+        net = random_wan(20, rng=10)
+        ps = [p.vid for p in net.processors()]
+        r1 = [l.lid for l in bfs_route(net, ps[0], ps[10])]
+        r2 = [l.lid for l in bfs_route(net, ps[0], ps[10])]
+        assert r1 == r2
+
+
+class TestDijkstra:
+    @staticmethod
+    def _uniform_probe(duration):
+        return lambda link, t: t + duration
+
+    def test_same_processor_empty(self, net4):
+        p = net4.processors()[0].vid
+        assert dijkstra_route(net4, p, p, 0.0, self._uniform_probe(1.0)) == []
+
+    def test_matches_bfs_under_uniform_cost(self):
+        net = random_wan(20, rng=11)
+        ps = [p.vid for p in net.processors()]
+        bfs = bfs_route(net, ps[0], ps[7])
+        dij = dijkstra_route(net, ps[0], ps[7], 0.0, self._uniform_probe(1.0))
+        assert len(dij) == len(bfs)
+
+    def test_avoids_loaded_link(self):
+        # Triangle: direct a-b link is "busy" (slow probe); detour via c wins.
+        net = fully_connected(3)
+        a, b, c = (p.vid for p in net.processors())
+        direct = {l.lid for l, v in net.out_links(a) if v == b}
+
+        def probe(link, t):
+            return t + (10.0 if link.lid in direct else 1.0)
+
+        route = dijkstra_route(net, a, b, 0.0, probe)
+        assert len(route) == 2  # a -> c -> b
+        assert all(l.lid not in direct for l in route)
+
+    def test_ready_time_threads_through(self):
+        net = linear_array(3)
+        ps = [p.vid for p in net.processors()]
+        seen = []
+
+        def probe(link, t):
+            seen.append(t)
+            return t + 2.0
+
+        dijkstra_route(net, ps[0], ps[2], 5.0, probe)
+        assert min(seen) == 5.0
+
+    def test_negative_ready_time_rejected(self, net2):
+        a, b = (p.vid for p in net2.processors())
+        with pytest.raises(RoutingError):
+            dijkstra_route(net2, a, b, -1.0, self._uniform_probe(1.0))
+
+    def test_non_monotone_probe_detected(self, net2):
+        a, b = (p.vid for p in net2.processors())
+        with pytest.raises(RoutingError):
+            dijkstra_route(net2, a, b, 10.0, lambda link, t: 0.0)
+
+    def test_disconnected_raises(self):
+        net = NetworkTopology()
+        a = net.add_processor()
+        b = net.add_processor()
+        with pytest.raises(RoutingError):
+            dijkstra_route(net, a.vid, b.vid, 0.0, self._uniform_probe(1.0))
+
+    def test_route_is_walkable(self):
+        net = random_wan(25, rng=12)
+        ps = [p.vid for p in net.processors()]
+        route = dijkstra_route(net, ps[2], ps[-1], 0.0, self._uniform_probe(1.5))
+        _vertex_walk_ok(net, route, ps[2], ps[-1])
+
+    def test_switch_endpoint_rejected(self, net4):
+        switch = net4.switches()[0].vid
+        proc = net4.processors()[0].vid
+        with pytest.raises(RoutingError):
+            dijkstra_route(net4, proc, switch, 0.0, self._uniform_probe(1.0))

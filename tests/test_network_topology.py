@@ -1,0 +1,133 @@
+"""Unit tests for repro.network.topology."""
+
+import pytest
+
+from repro.exceptions import TopologyError
+from repro.network.topology import Link, NetworkTopology, Vertex
+
+
+class TestVertexAndLink:
+    def test_processor_needs_positive_speed(self):
+        with pytest.raises(TopologyError):
+            Vertex(0, "processor", 0.0)
+
+    def test_switch_speed_ignored(self):
+        assert Vertex(0, "switch", 1.0).is_processor is False
+
+    def test_link_needs_positive_speed(self):
+        with pytest.raises(TopologyError):
+            Link(0, 0.0, 0, 1)
+
+
+class TestConstruction:
+    def test_ids_are_sequential(self):
+        net = NetworkTopology()
+        a = net.add_processor()
+        b = net.add_switch()
+        assert (a.vid, b.vid) == (0, 1)
+
+    def test_full_duplex_creates_two_links(self):
+        net = NetworkTopology()
+        a, b = net.add_processor(), net.add_processor()
+        fwd, bwd = net.connect(a, b, 2.0)
+        assert (fwd.src, fwd.dst) == (a.vid, b.vid)
+        assert (bwd.src, bwd.dst) == (b.vid, a.vid)
+        assert net.num_links == 2
+
+    def test_half_duplex_creates_one_shared_link(self):
+        net = NetworkTopology()
+        a, b = net.add_processor(), net.add_processor()
+        (link,) = net.connect(a, b, duplex="half")
+        # Reachable in both directions through the same resource.
+        assert [l.lid for l, _ in net.out_links(a.vid)] == [link.lid]
+        assert [l.lid for l, _ in net.out_links(b.vid)] == [link.lid]
+
+    def test_self_connection_rejected(self):
+        net = NetworkTopology()
+        a = net.add_processor()
+        with pytest.raises(TopologyError):
+            net.connect(a, a)
+
+    def test_unknown_vertex_rejected(self):
+        net = NetworkTopology()
+        net.add_processor()
+        with pytest.raises(TopologyError):
+            net.connect(0, 99)
+
+    def test_unknown_duplex_rejected(self):
+        net = NetworkTopology()
+        a, b = net.add_processor(), net.add_processor()
+        with pytest.raises(TopologyError):
+            net.connect(a, b, duplex="simplex")
+
+    def test_parallel_cables_allowed(self):
+        net = NetworkTopology()
+        a, b = net.add_processor(), net.add_processor()
+        net.connect(a, b)
+        net.connect(a, b)
+        assert net.num_links == 4
+
+
+class TestBus:
+    def test_bus_connects_all_pairs(self):
+        net = NetworkTopology()
+        ps = [net.add_processor() for _ in range(3)]
+        bus = net.add_bus(ps, speed=4.0)
+        for p in ps:
+            nbrs = {v for l, v in net.out_links(p.vid) if l.lid == bus.lid}
+            assert nbrs == {q.vid for q in ps if q is not p}
+
+    def test_bus_needs_two_members(self):
+        net = NetworkTopology()
+        p = net.add_processor()
+        with pytest.raises(TopologyError):
+            net.add_bus([p])
+
+    def test_bus_duplicate_members_rejected(self):
+        net = NetworkTopology()
+        p, q = net.add_processor(), net.add_processor()
+        with pytest.raises(TopologyError):
+            net.add_bus([p, q, p])
+
+    def test_bus_kind(self):
+        net = NetworkTopology()
+        ps = [net.add_processor() for _ in range(2)]
+        assert net.add_bus(ps).kind == "bus"
+
+
+class TestQueries:
+    def test_processors_and_switches(self, net4):
+        assert len(net4.processors()) == 4
+        assert len(net4.switches()) == 1
+
+    def test_mean_link_speed(self):
+        net = NetworkTopology()
+        a, b = net.add_processor(), net.add_processor()
+        net.connect(a, b, 2.0)
+        net.connect(a, b, 4.0)
+        assert net.mean_link_speed() == 3.0
+
+    def test_mean_link_speed_no_links(self):
+        net = NetworkTopology()
+        net.add_processor()
+        with pytest.raises(TopologyError):
+            net.mean_link_speed()
+
+    def test_mean_processor_speed(self):
+        net = NetworkTopology()
+        net.add_processor(1.0)
+        net.add_processor(3.0)
+        assert net.mean_processor_speed() == 2.0
+
+    def test_unknown_ids_raise(self, net4):
+        with pytest.raises(TopologyError):
+            net4.vertex(99)
+        with pytest.raises(TopologyError):
+            net4.link(99)
+        with pytest.raises(TopologyError):
+            net4.out_links(99)
+
+    def test_to_networkx_arcs(self, net2):
+        g = net2.to_networkx()
+        assert g.number_of_nodes() == 2
+        assert g.number_of_edges() == 2  # one arc per direction

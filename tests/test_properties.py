@@ -1,0 +1,220 @@
+"""Property-based tests (hypothesis) for the core invariants.
+
+Strategies generate random DAGs and random topologies; every scheduler must
+produce a schedule that passes the full validator, and the link-engine
+primitives must maintain their local invariants under arbitrary call
+sequences.
+"""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import SCHEDULERS
+from repro.core.validate import validate_schedule
+from repro.linksched.insertion import schedule_edge_basic
+from repro.linksched.optimal_insertion import schedule_edge_optimal
+from repro.linksched.slots import check_queue_invariants, find_gap
+from repro.linksched.state import LinkScheduleState
+from repro.network.builders import (
+    fully_connected,
+    linear_array,
+    random_wan,
+    shared_bus,
+    switched_cluster,
+)
+from repro.network.routing import bfs_route
+from repro.taskgraph.ccr import ccr_of, scale_to_ccr
+from repro.taskgraph.generators import random_layered_dag
+from repro.taskgraph.priorities import bottom_levels, priority_list, top_levels
+
+# Scheduling a graph takes ~10ms; keep example counts moderate.
+FAST = settings(max_examples=25, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+SLOW = settings(max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+graphs = st.builds(
+    lambda n, seed, density: random_layered_dag(n, rng=seed, density=density),
+    n=st.integers(2, 25),
+    seed=st.integers(0, 10_000),
+    density=st.floats(0.0, 0.5),
+)
+
+topologies = st.one_of(
+    st.builds(lambda n, seed: fully_connected(n, rng=seed), st.integers(1, 6), st.integers(0, 100)),
+    st.builds(lambda n, seed: switched_cluster(n, rng=seed), st.integers(2, 8), st.integers(0, 100)),
+    st.builds(lambda n, seed: linear_array(n, rng=seed), st.integers(2, 6), st.integers(0, 100)),
+    st.builds(lambda n, seed: shared_bus(n, rng=seed), st.integers(2, 6), st.integers(0, 100)),
+    st.builds(
+        lambda n, seed: random_wan(n, rng=seed, proc_speed=(1, 10), link_speed=(1, 10)),
+        st.integers(2, 12),
+        st.integers(0, 100),
+    ),
+)
+
+
+class TestGraphProperties:
+    @FAST
+    @given(g=graphs)
+    def test_priority_list_is_topological_permutation(self, g):
+        order = priority_list(g)
+        assert sorted(order) == sorted(g.task_ids())
+        pos = {t: i for i, t in enumerate(order)}
+        for e in g.edges():
+            assert pos[e.src] < pos[e.dst]
+
+    @FAST
+    @given(g=graphs)
+    def test_bottom_levels_dominate_successors(self, g):
+        bl = bottom_levels(g)
+        for e in g.edges():
+            assert bl[e.src] >= g.task(e.src).weight + e.cost + bl[e.dst] - 1e-9
+
+    @FAST
+    @given(g=graphs)
+    def test_top_plus_bottom_bounded_by_cp(self, g):
+        from repro.taskgraph.priorities import critical_path_length
+
+        tl, bl = top_levels(g), bottom_levels(g)
+        cp = critical_path_length(g)
+        for t in g.task_ids():
+            assert tl[t] + bl[t] <= cp + 1e-6
+
+    @FAST
+    @given(g=graphs, target=st.floats(0.05, 20.0))
+    def test_ccr_rescaling_hits_target(self, g, target):
+        if g.num_edges == 0:
+            return
+        assert ccr_of(scale_to_ccr(g, target)) == pytest.approx(target)
+
+
+class TestGapProperties:
+    slots_strategy = st.lists(
+        st.tuples(st.floats(0, 100), st.floats(0.1, 20)), min_size=0, max_size=10
+    )
+
+    @FAST
+    @given(
+        raw=slots_strategy,
+        duration=st.floats(0.0, 15.0),
+        est=st.floats(0.0, 120.0),
+        min_finish=st.floats(0.0, 150.0),
+    )
+    def test_find_gap_result_is_insertable(self, raw, duration, est, min_finish):
+        from repro.linksched.slots import TimeSlot, insert_slot
+
+        # Build a disjoint queue from the raw (start, length) pairs.
+        queue = []
+        cursor = 0.0
+        for offset, length in sorted(raw):
+            start = max(cursor, offset)
+            queue.append(TimeSlot((len(queue), 999), start, start + length))
+            cursor = start + length
+        index, start, finish = find_gap(queue, duration, est, min_finish)
+        assert start >= est
+        assert finish >= min_finish - 1e-9
+        assert finish - start == pytest.approx(duration)
+        insert_slot(queue, index, TimeSlot((999, 999), start, finish))
+        check_queue_invariants(queue)
+
+
+class TestEngineProperties:
+    edge_plans = st.lists(
+        st.tuples(st.floats(0.5, 50.0), st.floats(0.0, 30.0)),  # (cost, ready)
+        min_size=1,
+        max_size=12,
+    )
+
+    @FAST
+    @given(plans=edge_plans, seed=st.integers(0, 50))
+    def test_optimal_never_later_than_basic_per_arrival(self, plans, seed):
+        """On an identical call sequence, each edge's arrival under optimal
+        insertion is never later than under basic insertion."""
+        net = linear_array(3, link_speed=2.0)
+        ps = [p.vid for p in net.processors()]
+        route = bfs_route(net, ps[0], ps[2])
+        s_basic, s_opt = LinkScheduleState(), LinkScheduleState()
+        for i, (cost, ready) in enumerate(plans):
+            a_b = schedule_edge_basic(s_basic, (i, 100 + i), route, cost, ready)
+            a_o = schedule_edge_optimal(s_opt, (i, 100 + i), route, cost, ready)
+            assert a_o <= a_b + 1e-6
+            for lid in (route[0].lid, route[1].lid):
+                check_queue_invariants(s_opt.slots(lid))
+
+    @FAST
+    @given(plans=edge_plans)
+    def test_optimal_preserves_causality_of_all_edges(self, plans):
+        from repro.linksched.causality import check_route_causality
+
+        net = linear_array(3)
+        ps = [p.vid for p in net.processors()]
+        route = bfs_route(net, ps[0], ps[2])
+        state = LinkScheduleState()
+        costs = {}
+        readys = {}
+        for i, (cost, ready) in enumerate(plans):
+            key = (i, 100 + i)
+            schedule_edge_optimal(state, key, route, cost, ready)
+            costs[key], readys[key] = cost, ready
+        for key in costs:
+            check_route_causality(state, net, key, costs[key], readys[key])
+
+    @FAST
+    @given(plans=edge_plans)
+    def test_bandwidth_conserves_volume_and_capacity(self, plans):
+        from repro.linksched.bandwidth import BandwidthLinkState
+
+        net = linear_array(3, link_speed=3.0)
+        ps = [p.vid for p in net.processors()]
+        route = bfs_route(net, ps[0], ps[2])
+        state = BandwidthLinkState()
+        for i, (cost, ready) in enumerate(plans):
+            key = (i, 100 + i)
+            arrival = state.schedule_edge(key, route, cost, ready)
+            bookings = state.bookings_of(key)
+            assert bookings[-1].departure.final_volume == pytest.approx(cost, rel=1e-6)
+            assert arrival >= ready
+        for link in route:
+            assert state.profile(link.lid).max_used() <= 1.0 + 1e-6
+
+
+class TestSchedulerProperties:
+    @SLOW
+    @given(g=graphs, net=topologies, ccr=st.floats(0.1, 10.0), algo=st.sampled_from(sorted(SCHEDULERS)))
+    def test_every_schedule_validates(self, g, net, ccr, algo):
+        if g.num_edges:
+            g = scale_to_ccr(g, ccr)
+        schedule = SCHEDULERS[algo]().schedule(g, net)
+        validate_schedule(schedule)
+
+    @SLOW
+    @given(g=graphs, net=topologies, algo=st.sampled_from(["ba", "oihsa", "bbsa"]))
+    def test_every_schedule_resimulates(self, g, net, algo):
+        """The independent event-driven re-execution reproduces every finish."""
+        from repro.core.eventsim import resimulate
+
+        schedule = SCHEDULERS[algo]().schedule(g, net)
+        report = resimulate(schedule)
+        assert report.makespan == pytest.approx(schedule.makespan)
+
+    @SLOW
+    @given(g=graphs, net=topologies)
+    def test_makespan_lower_bound(self, g, net):
+        """No schedule beats total work spread over all processors at max speed."""
+        schedule = SCHEDULERS["oihsa"]().schedule(g, net)
+        total_speed = sum(p.speed for p in net.processors())
+        assert schedule.makespan >= g.total_work() / total_speed - 1e-6
+
+    @SLOW
+    @given(g=graphs, net=topologies)
+    def test_makespan_upper_bound_serial(self, g, net):
+        """List scheduling never exceeds fully-serial execution on the slowest
+        processor plus all communication serialized over the slowest link."""
+        schedule = SCHEDULERS["ba"]().schedule(g, net)
+        slowest_proc = min(p.speed for p in net.processors())
+        slowest_link = min((l.speed for l in net.links()), default=1.0)
+        diameter = max(1, len(net.processors()))
+        bound = g.total_work() / slowest_proc + (
+            g.total_comm() / slowest_link
+        ) * diameter
+        assert schedule.makespan <= bound + 1e-6

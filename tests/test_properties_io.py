@@ -1,0 +1,65 @@
+"""Property-based round-trip tests for all serialization layers."""
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro.core import SCHEDULERS
+from repro.core.io import schedule_from_json, schedule_to_json
+from repro.core.validate import validate_schedule
+from repro.network.builders import random_wan, switched_cluster
+from repro.network.io import topology_from_json, topology_to_json
+from repro.network.routing import bfs_route
+from repro.taskgraph.ccr import scale_to_ccr
+from repro.taskgraph.generators import random_layered_dag
+from repro.taskgraph.io import graph_from_json, graph_to_json
+
+FAST = settings(max_examples=20, deadline=None, suppress_health_check=[HealthCheck.too_slow])
+
+
+class TestGraphRoundTrip:
+    @FAST
+    @given(n=st.integers(1, 40), seed=st.integers(0, 1000), density=st.floats(0, 0.4))
+    def test_json_preserves_everything(self, n, seed, density):
+        g = random_layered_dag(n, rng=seed, density=density)
+        back = graph_from_json(graph_to_json(g))
+        assert back.num_tasks == g.num_tasks
+        assert {e.key for e in back.edges()} == {e.key for e in g.edges()}
+        for t in g.tasks():
+            assert back.task(t.tid).weight == t.weight
+        for e in g.edges():
+            assert back.edge(e.src, e.dst).cost == e.cost
+
+
+class TestTopologyRoundTrip:
+    @FAST
+    @given(n=st.integers(1, 20), seed=st.integers(0, 1000))
+    def test_json_preserves_routing_graph(self, n, seed):
+        net = random_wan(n, rng=seed, link_speed=(1, 10))
+        back = topology_from_json(topology_to_json(net))
+        assert back.num_vertices == net.num_vertices
+        assert back.num_links == net.num_links
+        procs = [p.vid for p in net.processors()]
+        if len(procs) >= 2:
+            r1 = [l.lid for l in bfs_route(net, procs[0], procs[-1])]
+            r2 = [l.lid for l in bfs_route(back, procs[0], procs[-1])]
+            assert r1 == r2
+
+
+class TestScheduleRoundTrip:
+    @FAST
+    @given(
+        n=st.integers(2, 20),
+        seed=st.integers(0, 500),
+        ccr=st.floats(0.2, 6.0),
+        algo=st.sampled_from(["ba", "oihsa", "bbsa", "classic"]),
+    )
+    def test_round_trip_revalidates(self, n, seed, ccr, algo):
+        g = random_layered_dag(n, rng=seed)
+        if g.num_edges:
+            g = scale_to_ccr(g, ccr)
+        net = switched_cluster(4, rng=seed)
+        original = SCHEDULERS[algo]().schedule(g, net)
+        back = schedule_from_json(schedule_to_json(original))
+        validate_schedule(back)
+        assert back.makespan == original.makespan

@@ -1,0 +1,79 @@
+"""Unit tests for repro.taskgraph.ccr."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.taskgraph.ccr import ccr_of, scale_to_ccr
+from repro.taskgraph.generators import random_layered_dag
+from repro.taskgraph.graph import TaskGraph
+
+
+class TestCcrOf:
+    def test_known_value(self, chain3):
+        # mean comm = 5.5, mean comp = 3 -> ccr = 11/6
+        assert ccr_of(chain3) == pytest.approx(5.5 / 3.0)
+
+    def test_no_edges_is_zero(self):
+        g = TaskGraph()
+        g.add_task(0, 1.0)
+        assert ccr_of(g) == 0.0
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            ccr_of(TaskGraph())
+
+    def test_zero_computation_rejected(self):
+        g = TaskGraph()
+        g.add_task(0, 0.0)
+        g.add_task(1, 0.0)
+        g.add_edge(0, 1, 1.0)
+        with pytest.raises(GraphError):
+            ccr_of(g)
+
+
+class TestScaleToCcr:
+    @pytest.mark.parametrize("target", [0.1, 1.0, 5.0, 10.0])
+    def test_hits_target(self, target):
+        g = random_layered_dag(40, rng=5)
+        scaled = scale_to_ccr(g, target)
+        assert ccr_of(scaled) == pytest.approx(target)
+
+    def test_structure_preserved(self, diamond4):
+        scaled = scale_to_ccr(diamond4, 3.0)
+        assert scaled.num_tasks == diamond4.num_tasks
+        assert {e.key for e in scaled.edges()} == {e.key for e in diamond4.edges()}
+
+    def test_weights_untouched(self, diamond4):
+        scaled = scale_to_ccr(diamond4, 3.0)
+        for t in diamond4.tasks():
+            assert scaled.task(t.tid).weight == t.weight
+
+    def test_relative_edge_costs_preserved(self, diamond4):
+        scaled = scale_to_ccr(diamond4, 3.0)
+        assert scaled.edge(0, 2).cost / scaled.edge(0, 1).cost == pytest.approx(2.0)
+
+    def test_negative_target_rejected(self, diamond4):
+        with pytest.raises(GraphError):
+            scale_to_ccr(diamond4, -1.0)
+
+    def test_edgeless_to_zero_is_copy(self):
+        g = TaskGraph()
+        g.add_task(0, 1.0)
+        assert scale_to_ccr(g, 0.0).num_tasks == 1
+
+    def test_edgeless_to_positive_rejected(self):
+        g = TaskGraph()
+        g.add_task(0, 1.0)
+        with pytest.raises(GraphError):
+            scale_to_ccr(g, 1.0)
+
+    def test_zero_cost_edges_rejected(self):
+        g = TaskGraph()
+        g.add_task(0, 1.0)
+        g.add_task(1, 1.0)
+        g.add_edge(0, 1, 0.0)
+        with pytest.raises(GraphError):
+            scale_to_ccr(g, 1.0)
+
+    def test_name_default(self, diamond4):
+        assert "ccr=3" in scale_to_ccr(diamond4, 3.0).name

@@ -1,0 +1,88 @@
+"""Unit tests for repro.taskgraph.generators."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.taskgraph.generators import random_fan_dag, random_layered_dag
+from repro.taskgraph.validate import validate_graph
+
+
+class TestRandomLayered:
+    @pytest.mark.parametrize("n", [1, 2, 10, 100])
+    def test_task_count(self, n):
+        assert random_layered_dag(n, rng=1).num_tasks == n
+
+    def test_is_valid_dag(self):
+        validate_graph(random_layered_dag(60, rng=2))
+
+    def test_deterministic(self):
+        a = random_layered_dag(30, rng=9)
+        b = random_layered_dag(30, rng=9)
+        assert {e.key for e in a.edges()} == {e.key for e in b.edges()}
+        assert [t.weight for t in a.tasks()] == [t.weight for t in b.tasks()]
+
+    def test_different_seeds_differ(self):
+        a = random_layered_dag(30, rng=1)
+        b = random_layered_dag(30, rng=2)
+        assert {e.key for e in a.edges()} != {e.key for e in b.edges()}
+
+    def test_costs_in_range(self):
+        g = random_layered_dag(50, rng=3, weight_range=(5, 10), cost_range=(2, 4))
+        assert all(5 <= t.weight <= 10 for t in g.tasks())
+        assert all(2 <= e.cost <= 4 for e in g.edges())
+
+    def test_every_non_source_has_parent(self):
+        g = random_layered_dag(80, rng=4)
+        sources = set(g.sources())
+        for tid in g.task_ids():
+            if tid not in sources:
+                assert g.predecessors(tid)
+
+    def test_density_increases_edges(self):
+        sparse = random_layered_dag(60, rng=5, density=0.02)
+        dense = random_layered_dag(60, rng=5, density=0.5)
+        assert dense.num_edges > sparse.num_edges
+
+    def test_max_fan_in_respected(self):
+        g = random_layered_dag(80, rng=6, density=0.9, max_fan_in=3)
+        assert max(len(g.predecessors(t)) for t in g.task_ids()) <= 3
+
+    def test_shape_controls_depth(self):
+        import networkx as nx
+
+        deep = random_layered_dag(100, rng=7, shape=0.5)
+        wide = random_layered_dag(100, rng=7, shape=4.0)
+        assert nx.dag_longest_path_length(deep.to_networkx()) >= nx.dag_longest_path_length(
+            wide.to_networkx()
+        )
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(GraphError):
+            random_layered_dag(0)
+        with pytest.raises(GraphError):
+            random_layered_dag(10, density=1.5)
+        with pytest.raises(GraphError):
+            random_layered_dag(10, shape=0.0)
+
+
+class TestRandomFan:
+    def test_task_count(self):
+        assert random_fan_dag(25, rng=1).num_tasks == 25
+
+    def test_is_valid_dag(self):
+        validate_graph(random_fan_dag(40, rng=2))
+
+    def test_connected_from_root(self):
+        g = random_fan_dag(40, rng=3)
+        import networkx as nx
+
+        assert nx.is_weakly_connected(g.to_networkx())
+
+    def test_single_task(self):
+        assert random_fan_dag(1, rng=1).num_edges == 0
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(GraphError):
+            random_fan_dag(0)
+        with pytest.raises(GraphError):
+            random_fan_dag(5, max_out_degree=0)

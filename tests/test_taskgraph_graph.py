@@ -1,0 +1,118 @@
+"""Unit tests for repro.taskgraph.graph."""
+
+import pytest
+
+from repro.exceptions import CycleError, GraphError
+from repro.taskgraph.graph import CommEdge, Task, TaskGraph
+
+
+class TestTaskAndEdge:
+    def test_negative_weight_rejected(self):
+        with pytest.raises(GraphError):
+            Task(0, -1.0)
+
+    def test_zero_weight_allowed(self):
+        assert Task(0, 0.0).weight == 0.0
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(GraphError):
+            CommEdge(0, 1, -1.0)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(GraphError):
+            CommEdge(3, 3, 1.0)
+
+    def test_edge_key(self):
+        assert CommEdge(1, 2, 0.5).key == (1, 2)
+
+
+class TestConstruction:
+    def test_duplicate_task_rejected(self, chain3):
+        with pytest.raises(GraphError):
+            chain3.add_task(0, 1.0)
+
+    def test_duplicate_edge_rejected(self, chain3):
+        with pytest.raises(GraphError):
+            chain3.add_edge(0, 1, 2.0)
+
+    def test_edge_to_unknown_task_rejected(self, chain3):
+        with pytest.raises(GraphError):
+            chain3.add_edge(0, 99, 1.0)
+        with pytest.raises(GraphError):
+            chain3.add_edge(99, 0, 1.0)
+
+    def test_counts(self, chain3):
+        assert chain3.num_tasks == 3
+        assert chain3.num_edges == 2
+
+
+class TestQueries:
+    def test_unknown_task_raises(self, chain3):
+        with pytest.raises(GraphError):
+            chain3.task(42)
+        with pytest.raises(GraphError):
+            chain3.successors(42)
+        with pytest.raises(GraphError):
+            chain3.predecessors(42)
+
+    def test_unknown_edge_raises(self, chain3):
+        with pytest.raises(GraphError):
+            chain3.edge(2, 0)
+
+    def test_adjacency(self, diamond4):
+        assert set(diamond4.successors(0)) == {1, 2}
+        assert set(diamond4.predecessors(3)) == {1, 2}
+
+    def test_in_out_edges(self, diamond4):
+        assert {e.key for e in diamond4.in_edges(3)} == {(1, 3), (2, 3)}
+        assert {e.key for e in diamond4.out_edges(0)} == {(0, 1), (0, 2)}
+
+    def test_sources_and_sinks(self, diamond4):
+        assert diamond4.sources() == [0]
+        assert diamond4.sinks() == [3]
+
+    def test_totals(self, diamond4):
+        assert diamond4.total_work() == 10.0
+        assert diamond4.total_comm() == 100.0
+
+
+class TestTopologicalOrder:
+    def test_order_respects_precedence(self, diamond4):
+        order = diamond4.topological_order()
+        pos = {t: i for i, t in enumerate(order)}
+        for e in diamond4.edges():
+            assert pos[e.src] < pos[e.dst]
+
+    def test_cycle_detected(self):
+        g = TaskGraph()
+        g.add_task(0, 1)
+        g.add_task(1, 1)
+        g.add_edge(0, 1, 1)
+        g.add_edge(1, 0, 1)
+        with pytest.raises(CycleError):
+            g.topological_order()
+
+    def test_deterministic_tie_break(self):
+        g = TaskGraph()
+        for t in (2, 0, 1):
+            g.add_task(t, 1)
+        assert g.topological_order() == [0, 1, 2]
+
+
+class TestInterop:
+    def test_networkx_round_trip(self, diamond4):
+        back = TaskGraph.from_networkx(diamond4.to_networkx())
+        assert back.num_tasks == diamond4.num_tasks
+        assert back.num_edges == diamond4.num_edges
+        assert back.edge(2, 3).cost == 40.0
+        assert back.task(1).weight == 3.0
+
+    def test_copy_is_independent(self, chain3):
+        dup = chain3.copy()
+        dup.add_task(99, 1.0)
+        assert not chain3.has_task(99)
+        assert dup.has_task(99)
+
+    def test_copy_preserves_adjacency(self, diamond4):
+        dup = diamond4.copy()
+        assert dup.successors(0) == diamond4.successors(0)

@@ -1,0 +1,102 @@
+"""Unit tests for repro.taskgraph.io and repro.taskgraph.validate."""
+
+import json
+
+import pytest
+
+from repro.exceptions import GraphError, SerializationError
+from repro.taskgraph.generators import random_layered_dag
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.io import graph_from_json, graph_to_dot, graph_to_json
+from repro.taskgraph.validate import validate_graph
+
+
+class TestJson:
+    def test_round_trip(self, diamond4):
+        back = graph_from_json(graph_to_json(diamond4))
+        assert back.name == diamond4.name
+        assert {e.key for e in back.edges()} == {e.key for e in diamond4.edges()}
+        assert back.edge(2, 3).cost == 40.0
+        assert back.task(0).weight == 2.0
+
+    def test_round_trip_random(self):
+        g = random_layered_dag(50, rng=8)
+        back = graph_from_json(graph_to_json(g))
+        assert back.num_tasks == 50
+        assert back.num_edges == g.num_edges
+
+    def test_invalid_json_rejected(self):
+        with pytest.raises(SerializationError):
+            graph_from_json("{not json")
+
+    def test_wrong_format_rejected(self):
+        with pytest.raises(SerializationError):
+            graph_from_json(json.dumps({"format": "something/else"}))
+
+    def test_missing_fields_rejected(self):
+        doc = {"format": "repro.taskgraph/v1", "tasks": [{"id": 0}], "edges": []}
+        with pytest.raises(SerializationError):
+            graph_from_json(json.dumps(doc))
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(SerializationError):
+            graph_from_json("[1, 2]")
+
+    def test_output_is_stable(self, diamond4):
+        assert graph_to_json(diamond4) == graph_to_json(diamond4)
+
+
+class TestDot:
+    def test_contains_nodes_and_edges(self, chain3):
+        dot = graph_to_dot(chain3)
+        assert "n0 -> n1" in dot
+        assert dot.startswith("digraph")
+        assert dot.rstrip().endswith("}")
+
+    def test_labels_include_costs(self, chain3):
+        assert 'label="5"' in graph_to_dot(chain3)
+
+
+class TestValidate:
+    def test_valid_graph_passes(self, diamond4):
+        validate_graph(diamond4)
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(GraphError):
+            validate_graph(TaskGraph())
+
+    def test_cycle_rejected(self):
+        g = TaskGraph()
+        g.add_task(0, 1)
+        g.add_task(1, 1)
+        g.add_edge(0, 1, 1)
+        g.add_edge(1, 0, 1)
+        with pytest.raises(GraphError):
+            validate_graph(g)
+
+    def test_nan_weight_rejected(self):
+        g = TaskGraph()
+        g.add_task(0, float("nan"))
+        with pytest.raises(GraphError):
+            validate_graph(g)
+
+    def test_inf_cost_rejected(self):
+        g = TaskGraph()
+        g.add_task(0, 1)
+        g.add_task(1, 1)
+        g.add_edge(0, 1, float("inf"))
+        with pytest.raises(GraphError):
+            validate_graph(g)
+
+    def test_disconnected_flagged_when_required(self):
+        g = TaskGraph()
+        g.add_task(0, 1)
+        g.add_task(1, 1)
+        validate_graph(g)  # fine by default
+        with pytest.raises(GraphError):
+            validate_graph(g, require_connected=True)
+
+    def test_single_task_connected(self):
+        g = TaskGraph()
+        g.add_task(0, 1)
+        validate_graph(g, require_connected=True)

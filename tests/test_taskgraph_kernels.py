@@ -1,0 +1,119 @@
+"""Unit tests for repro.taskgraph.kernels (structure of each kernel DAG)."""
+
+import pytest
+
+from repro.exceptions import GraphError
+from repro.taskgraph import kernels
+from repro.taskgraph.validate import validate_graph
+
+
+@pytest.mark.parametrize(
+    "factory",
+    [
+        lambda rng: kernels.fork_join(5, rng),
+        lambda rng: kernels.pipeline(7, rng),
+        lambda rng: kernels.out_tree(3, 2, rng),
+        lambda rng: kernels.in_tree(3, 2, rng),
+        lambda rng: kernels.divide_and_conquer(4, rng),
+        lambda rng: kernels.gaussian_elimination(5, rng),
+        lambda rng: kernels.cholesky(4, rng),
+        lambda rng: kernels.fft(8, rng),
+        lambda rng: kernels.stencil(4, 3, rng),
+        lambda rng: kernels.map_reduce(3, 2, rng),
+        lambda rng: kernels.diamond(4, rng),
+    ],
+    ids=[
+        "fork_join", "pipeline", "out_tree", "in_tree", "dac",
+        "gauss", "cholesky", "fft", "stencil", "map_reduce", "diamond",
+    ],
+)
+class TestAllKernels:
+    def test_valid_dag(self, factory):
+        validate_graph(factory(11))
+
+    def test_deterministic(self, factory):
+        a, b = factory(5), factory(5)
+        assert {e.key for e in a.edges()} == {e.key for e in b.edges()}
+
+    def test_unit_costs_without_rng(self, factory):
+        g = factory(None)
+        assert all(t.weight == 1.0 for t in g.tasks())
+        assert all(e.cost == 1.0 for e in g.edges())
+
+    def test_weakly_connected(self, factory):
+        import networkx as nx
+
+        assert nx.is_weakly_connected(factory(3).to_networkx())
+
+
+class TestShapes:
+    def test_fork_join_counts(self):
+        g = kernels.fork_join(6)
+        assert g.num_tasks == 8
+        assert g.num_edges == 12
+        assert g.sources() == [0]
+        assert g.sinks() == [7]
+
+    def test_pipeline_is_chain(self):
+        g = kernels.pipeline(5)
+        assert g.num_edges == 4
+        assert len(g.sources()) == 1 and len(g.sinks()) == 1
+
+    def test_out_tree_counts(self):
+        g = kernels.out_tree(3, 2)
+        assert g.num_tasks == 7
+        assert len(g.sinks()) == 4
+
+    def test_in_tree_is_reversed_out_tree(self):
+        g = kernels.in_tree(3, 2)
+        assert len(g.sources()) == 4
+        assert len(g.sinks()) == 1
+
+    def test_dac_symmetry(self):
+        g = kernels.divide_and_conquer(3)
+        assert g.num_tasks == 4 + 3 + 3  # 1+2+4 down, 2+1 up
+        assert len(g.sources()) == 1 and len(g.sinks()) == 1
+
+    def test_gauss_counts(self):
+        g = kernels.gaussian_elimination(4)
+        # levels k=0..2 with n-k tasks: 4 + 3 + 2
+        assert g.num_tasks == 9
+
+    def test_fft_counts(self):
+        g = kernels.fft(4)
+        assert g.num_tasks == 12  # (log2(4)+1) ranks x 4 points
+        assert all(len(g.predecessors(t)) == 2 for t in g.task_ids() if g.predecessors(t))
+
+    def test_stencil_counts(self):
+        g = kernels.stencil(3, 2)
+        assert g.num_tasks == 6
+        # middle cell of step 1 sees all three step-0 cells
+        assert len(g.predecessors(4)) == 3
+
+    def test_map_reduce_shuffle_is_complete(self):
+        g = kernels.map_reduce(3, 2)
+        reducers = [t for t in g.task_ids() if (g.task(t).name or "").startswith("reduce")]
+        for r in reducers:
+            assert len(g.predecessors(r)) == 3
+
+    def test_diamond_grid(self):
+        g = kernels.diamond(3)
+        assert g.num_tasks == 9
+        assert len(g.predecessors(4)) == 2  # interior cell: up + left
+
+    def test_bad_args_rejected(self):
+        with pytest.raises(GraphError):
+            kernels.fork_join(0)
+        with pytest.raises(GraphError):
+            kernels.fft(6)  # not a power of two
+        with pytest.raises(GraphError):
+            kernels.stencil(0, 1)
+        with pytest.raises(GraphError):
+            kernels.gaussian_elimination(1)
+
+    def test_registry_covers_all(self):
+        assert set(kernels.KERNELS) == {
+            "fork_join", "pipeline", "out_tree", "in_tree", "divide_and_conquer",
+            "gaussian_elimination", "cholesky", "fft", "stencil", "map_reduce",
+            "diamond",
+        }

@@ -1,0 +1,102 @@
+"""Unit tests for repro.taskgraph.priorities."""
+
+import pytest
+
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.kernels import fork_join, pipeline
+from repro.taskgraph.priorities import (
+    bottom_levels,
+    critical_path,
+    critical_path_length,
+    priority_list,
+    top_levels,
+)
+
+
+class TestBottomLevels:
+    def test_chain(self, chain3):
+        bl = bottom_levels(chain3)
+        # bl(t2)=4, bl(t1)=3+6+4=13, bl(t0)=2+5+13=20
+        assert bl == {2: 4.0, 1: 13.0, 0: 20.0}
+
+    def test_diamond_takes_max_branch(self, diamond4):
+        bl = bottom_levels(diamond4)
+        assert bl[3] == 1.0
+        assert bl[1] == 4.0 + 30.0  # w1 + c(1,3) + bl(3)
+        assert bl[2] == 45.0
+        assert bl[0] == 2.0 + max(10 + 34, 20 + 45)
+
+    def test_sink_bl_is_weight(self, diamond4):
+        assert bottom_levels(diamond4)[3] == diamond4.task(3).weight
+
+
+class TestTopLevels:
+    def test_source_is_zero(self, diamond4):
+        assert top_levels(diamond4)[0] == 0.0
+
+    def test_chain(self, chain3):
+        tl = top_levels(chain3)
+        assert tl == {0: 0.0, 1: 7.0, 2: 16.0}
+
+    def test_tl_plus_bl_bounded_by_cp(self, diamond4):
+        tl, bl = top_levels(diamond4), bottom_levels(diamond4)
+        cp = critical_path_length(diamond4)
+        for t in diamond4.task_ids():
+            assert tl[t] + bl[t] <= cp + 1e-9
+
+
+class TestCriticalPath:
+    def test_chain_is_whole_path(self, chain3):
+        assert critical_path(chain3) == [0, 1, 2]
+
+    def test_diamond_picks_heavier_branch(self, diamond4):
+        assert critical_path(diamond4) == [0, 2, 3]
+
+    def test_length_matches_path(self, diamond4):
+        path = critical_path(diamond4)
+        total = sum(diamond4.task(t).weight for t in path) + sum(
+            diamond4.edge(a, b).cost for a, b in zip(path, path[1:])
+        )
+        assert total == critical_path_length(diamond4)
+
+    def test_empty_graph(self):
+        assert critical_path(TaskGraph()) == []
+        assert critical_path_length(TaskGraph()) == 0.0
+
+    def test_single_task(self):
+        g = TaskGraph()
+        g.add_task(0, 5.0)
+        assert critical_path(g) == [0]
+        assert critical_path_length(g) == 5.0
+
+
+class TestPriorityList:
+    def test_is_topological(self, diamond4):
+        order = priority_list(diamond4)
+        pos = {t: i for i, t in enumerate(order)}
+        for e in diamond4.edges():
+            assert pos[e.src] < pos[e.dst]
+
+    def test_descending_bl_within_ready_set(self, diamond4):
+        # t2 has higher bl than t1, so it is released first.
+        order = priority_list(diamond4)
+        assert order.index(2) < order.index(1)
+
+    def test_covers_all_tasks(self):
+        g = fork_join(10, rng=3)
+        assert sorted(priority_list(g)) == sorted(g.task_ids())
+
+    def test_pipeline_is_chain_order(self):
+        g = pipeline(6, rng=1)
+        assert priority_list(g) == list(range(6))
+
+    def test_cycle_raises(self):
+        from repro.exceptions import CycleError
+
+        g = TaskGraph()
+        g.add_task(0, 1)
+        g.add_task(1, 1)
+        g.add_edge(0, 1, 1)
+        g.add_edge(1, 0, 1)
+        with pytest.raises(CycleError):
+            priority_list(g)

@@ -1,0 +1,82 @@
+"""Tests for the scientific-workflow-shaped task graphs."""
+
+import pytest
+
+from repro.core.oihsa import OIHSAScheduler
+from repro.core.validate import validate_schedule
+from repro.exceptions import GraphError
+from repro.network.builders import random_wan
+from repro.taskgraph.validate import validate_graph
+from repro.taskgraph.workflows import (
+    WORKFLOWS,
+    cybershake_like,
+    epigenomics_like,
+    ligo_like,
+    montage_like,
+)
+
+
+@pytest.mark.parametrize("name", sorted(WORKFLOWS))
+class TestAllWorkflows:
+    def test_valid_dag(self, name):
+        validate_graph(WORKFLOWS[name](rng=1), require_connected=True)
+
+    def test_deterministic(self, name):
+        a, b = WORKFLOWS[name](rng=5), WORKFLOWS[name](rng=5)
+        assert {e.key for e in a.edges()} == {e.key for e in b.edges()}
+        assert [t.weight for t in a.tasks()] == [t.weight for t in b.tasks()]
+
+    def test_schedulable(self, name):
+        g = WORKFLOWS[name](rng=2)
+        net = random_wan(8, rng=3)
+        validate_schedule(OIHSAScheduler().schedule(g, net))
+
+    def test_single_entry_or_fan(self, name):
+        g = WORKFLOWS[name](rng=4)
+        assert 1 <= len(g.sources()) <= 8
+        assert 1 <= len(g.sinks()) <= 4
+
+
+class TestShapes:
+    def test_montage_structure(self):
+        g = montage_like(width=6, rng=1)
+        # 6 projections + 5 diffs + concat + model + 6 backgrounds + 4 tail
+        assert g.num_tasks == 6 + 5 + 1 + 1 + 6 + 4
+        assert len(g.sources()) == 6
+        assert len(g.sinks()) == 1
+
+    def test_montage_background_depends_on_model_and_projection(self):
+        g = montage_like(width=4, rng=1)
+        bgs = [t.tid for t in g.tasks() if (t.name or "").startswith("mBackground")]
+        for b in bgs:
+            assert len(g.predecessors(b)) == 2
+
+    def test_epigenomics_lane_depth(self):
+        g = epigenomics_like(lanes=3, chain=4, rng=1)
+        assert g.num_tasks == 1 + 3 * 4 + 3
+        import networkx as nx
+
+        assert nx.dag_longest_path_length(g.to_networkx()) == 4 + 3
+
+    def test_ligo_two_waves(self):
+        g = ligo_like(banks=4, rng=1)
+        assert g.num_tasks == 4 + 4 + 1 + 4 + 4 + 1
+        thinca2 = g.num_tasks - 1
+        assert len(g.predecessors(thinca2)) == 4
+
+    def test_cybershake_generators_fan(self):
+        g = cybershake_like(sites=3, rng=1)
+        assert len(g.sources()) == 2
+        extracts = [t.tid for t in g.tasks() if (t.name or "").startswith("extract")]
+        for e in extracts:
+            assert len(g.predecessors(e)) == 2
+
+    def test_bad_args(self):
+        with pytest.raises(GraphError):
+            montage_like(width=1)
+        with pytest.raises(GraphError):
+            epigenomics_like(lanes=0)
+        with pytest.raises(GraphError):
+            ligo_like(banks=1)
+        with pytest.raises(GraphError):
+            cybershake_like(sites=0)

@@ -1,0 +1,94 @@
+"""Unit tests for small helpers: repro.types and figure-result internals."""
+
+import pytest
+
+from repro.experiments.figures import FigureResult, _interp_reference
+from repro.types import EPS, feq, fle, flt
+
+
+class TestFloatHelpers:
+    def test_feq_within_eps(self):
+        assert feq(1.0, 1.0 + EPS / 2)
+        assert not feq(1.0, 1.0 + 10 * EPS)
+
+    def test_fle(self):
+        assert fle(1.0, 1.0)
+        assert fle(1.0 + EPS / 2, 1.0)
+        assert not fle(2.0, 1.0)
+
+    def test_flt(self):
+        assert flt(1.0, 2.0)
+        assert not flt(1.0, 1.0 + EPS / 2)
+
+    def test_custom_eps(self):
+        assert feq(1.0, 1.4, eps=0.5)
+        assert flt(1.0, 2.0, eps=0.5)
+
+
+class TestInterpReference:
+    def test_exact_grid_passthrough(self):
+        ref = {"a": [1.0, 2.0, 3.0]}
+        out = _interp_reference(ref, (1.0, 2.0, 3.0), [1.0, 2.0, 3.0])
+        assert out["a"] == [1.0, 2.0, 3.0]
+
+    def test_interpolates_midpoints(self):
+        ref = {"a": [0.0, 10.0]}
+        out = _interp_reference(ref, (0.0, 1.0), [0.5])
+        assert out["a"] == [5.0]
+
+    def test_clamps_outside_grid(self):
+        ref = {"a": [1.0, 2.0]}
+        out = _interp_reference(ref, (0.0, 1.0), [-1.0, 5.0])
+        assert out["a"] == [1.0, 2.0]
+
+
+def make_result(x, oihsa, bbsa, x_label="CCR"):
+    return FigureResult(
+        figure_id="figX",
+        title="synthetic",
+        x_label=x_label,
+        x_values=x,
+        measured={"oihsa": oihsa, "bbsa": bbsa},
+        paper={"oihsa": oihsa, "bbsa": bbsa},
+    )
+
+
+class TestShapeChecks:
+    def test_interior_peak_passes(self):
+        r = make_result([0.1, 1.0, 5.0, 10.0], [5, 20, 25, 15], [6, 22, 28, 18])
+        checks = r.run_shape_checks()
+        assert checks["improvement rises from the low end"]
+        assert checks["improvement saturates at the high end"]
+
+    def test_peak_at_start_flagged(self):
+        r = make_result([0.1, 1.0, 5.0], [30, 20, 10], [30, 20, 10])
+        checks = r.run_shape_checks()
+        assert not checks["improvement rises from the low end"]
+
+    def test_peak_at_end_flagged(self):
+        r = make_result([0.1, 1.0, 5.0], [5, 10, 30], [5, 10, 30])
+        checks = r.run_shape_checks()
+        assert not checks["improvement saturates at the high end"]
+
+    def test_processor_sweep_uses_growth_check(self):
+        r = make_result([4, 8, 16, 32], [5, 6, 10, 12], [5, 6, 10, 12],
+                        x_label="processors")
+        checks = r.run_shape_checks()
+        assert checks["improvement grows with processors"]
+        assert "improvement rises from the low end" not in checks
+
+    def test_negative_averages_flagged(self):
+        r = make_result([1, 2, 3], [-5, -10, -2], [-4, -9, -1])
+        checks = r.run_shape_checks()
+        assert not checks["oihsa beats BA on average"]
+        assert not checks["bbsa beats BA on average"]
+
+    def test_bbsa_below_oihsa_flagged(self):
+        r = make_result([1, 2, 3], [20, 20, 20], [5, 5, 5])
+        checks = r.run_shape_checks()
+        assert not checks["bbsa >= oihsa on average"]
+
+    def test_to_text_with_plot(self):
+        r = make_result([1, 2, 3], [5, 10, 8], [6, 12, 9])
+        text = r.to_text(plot=True)
+        assert "figX" in text and "shape checks" in text and "*" in text

@@ -1,0 +1,86 @@
+"""Unit tests for repro.utils.intervals."""
+
+import math
+
+import pytest
+
+from repro.utils.intervals import Interval, gaps_between, merge_intervals, total_length
+
+
+class TestInterval:
+    def test_length(self):
+        assert Interval(1.0, 3.5).length == 2.5
+
+    def test_zero_length_is_empty(self):
+        assert Interval(2.0, 2.0).is_empty()
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            Interval(3.0, 2.0)
+
+    def test_contains_is_half_open(self):
+        iv = Interval(1.0, 2.0)
+        assert iv.contains(1.0)
+        assert iv.contains(1.5)
+        assert not iv.contains(2.0)
+
+    def test_abutting_intervals_do_not_overlap(self):
+        assert not Interval(0, 1).overlaps(Interval(1, 2))
+
+    def test_overlapping(self):
+        assert Interval(0, 2).overlaps(Interval(1, 3))
+
+    def test_intersection(self):
+        assert Interval(0, 2).intersection(Interval(1, 3)) == Interval(1, 2)
+
+    def test_intersection_empty(self):
+        assert Interval(0, 1).intersection(Interval(2, 3)) is None
+
+    def test_shift(self):
+        assert Interval(1, 2).shift(2.5) == Interval(3.5, 4.5)
+
+    def test_infinite_finish_allowed(self):
+        iv = Interval(0.0, math.inf)
+        assert iv.contains(1e12)
+
+
+class TestMerge:
+    def test_merge_disjoint(self):
+        ivs = [Interval(3, 4), Interval(0, 1)]
+        assert merge_intervals(ivs) == [Interval(0, 1), Interval(3, 4)]
+
+    def test_merge_overlapping(self):
+        ivs = [Interval(0, 2), Interval(1, 3)]
+        assert merge_intervals(ivs) == [Interval(0, 3)]
+
+    def test_merge_abutting(self):
+        ivs = [Interval(0, 1), Interval(1, 2)]
+        assert merge_intervals(ivs) == [Interval(0, 2)]
+
+    def test_merge_drops_empty(self):
+        assert merge_intervals([Interval(1, 1)]) == []
+
+    def test_merge_nested(self):
+        assert merge_intervals([Interval(0, 10), Interval(2, 3)]) == [Interval(0, 10)]
+
+    def test_total_length_counts_union_once(self):
+        assert total_length([Interval(0, 2), Interval(1, 3), Interval(5, 6)]) == 4.0
+
+
+class TestGaps:
+    def test_gaps_empty_busy(self):
+        assert gaps_between([], 0.0, 5.0) == [Interval(0.0, 5.0)]
+
+    def test_gaps_middle(self):
+        gaps = gaps_between([Interval(1, 2)], 0.0, 5.0)
+        assert gaps == [Interval(0, 1), Interval(2, 5)]
+
+    def test_gaps_busy_covers_window(self):
+        assert gaps_between([Interval(0, 5)], 1.0, 4.0) == []
+
+    def test_gaps_busy_outside_window(self):
+        assert gaps_between([Interval(10, 12)], 0.0, 5.0) == [Interval(0, 5)]
+
+    def test_gaps_invalid_window(self):
+        with pytest.raises(ValueError):
+            gaps_between([], 5.0, 1.0)

@@ -1,0 +1,73 @@
+"""Unit tests for repro.utils.rng and repro.utils.tables."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import as_rng, spawn_rng
+from repro.utils.tables import format_ascii_plot, format_series, format_table
+
+
+class TestRng:
+    def test_int_seed_is_deterministic(self):
+        a = as_rng(7).integers(0, 1000, size=10)
+        b = as_rng(7).integers(0, 1000, size=10)
+        assert (a == b).all()
+
+    def test_generator_passthrough(self):
+        gen = np.random.default_rng(1)
+        assert as_rng(gen) is gen
+
+    def test_none_gives_generator(self):
+        assert isinstance(as_rng(None), np.random.Generator)
+
+    def test_spawn_produces_independent_streams(self):
+        children = spawn_rng(as_rng(3), 4)
+        draws = [c.integers(0, 1_000_000) for c in children]
+        assert len(set(draws)) == 4
+
+    def test_spawn_is_deterministic(self):
+        a = [c.integers(0, 10**9) for c in spawn_rng(as_rng(3), 3)]
+        b = [c.integers(0, 10**9) for c in spawn_rng(as_rng(3), 3)]
+        assert a == b
+
+    def test_spawn_negative_rejected(self):
+        with pytest.raises(ValueError):
+            spawn_rng(as_rng(0), -1)
+
+    def test_spawn_zero_is_empty(self):
+        assert spawn_rng(as_rng(0), 0) == []
+
+
+class TestTables:
+    def test_alignment(self):
+        out = format_table(["a", "bb"], [[1, 2], [333, 4]])
+        lines = out.splitlines()
+        assert lines[0].endswith("bb")
+        assert all(len(l) == len(lines[0]) for l in lines)
+
+    def test_float_formatting(self):
+        out = format_table(["x"], [[1.23456]])
+        assert "1.23" in out
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_series(self):
+        out = format_series("x", [1, 2], {"y": [10.0, 20.0]})
+        assert "10.00" in out and "20.00" in out
+
+    def test_series_length_mismatch(self):
+        with pytest.raises(ValueError):
+            format_series("x", [1, 2], {"y": [1.0]})
+
+    def test_ascii_plot_contains_markers(self):
+        out = format_ascii_plot([0, 1, 2], {"s": [0.0, 1.0, 2.0]})
+        assert "*" in out and "s" in out
+
+    def test_ascii_plot_empty(self):
+        assert "empty" in format_ascii_plot([], {})
+
+    def test_ascii_plot_flat_series(self):
+        out = format_ascii_plot([0, 1], {"s": [5.0, 5.0]})
+        assert "*" in out

@@ -1,0 +1,63 @@
+"""Tests for repro.viz (gantt charts and reports)."""
+
+import pytest
+
+from repro.core.ba import BAScheduler
+from repro.core.bbsa import BBSAScheduler
+from repro.core.classic import ClassicScheduler
+from repro.viz.gantt import link_gantt, processor_gantt
+from repro.viz.report import comparison_report, schedule_report
+
+
+@pytest.fixture
+def schedules(diamond4, net4):
+    return [
+        cls().schedule(diamond4, net4)
+        for cls in (BAScheduler, BBSAScheduler, ClassicScheduler)
+    ]
+
+
+class TestGantt:
+    def test_processor_gantt_rows(self, schedules, net4):
+        out = processor_gantt(schedules[0])
+        assert out.count("|") >= len(net4.processors())
+        assert "t0" in out
+
+    def test_all_tasks_appear(self, schedules, diamond4):
+        out = processor_gantt(schedules[0], width=120)
+        for tid in diamond4.task_ids():
+            assert f"t{tid}" in out
+
+    def test_link_gantt_slot_based(self, schedules):
+        out = link_gantt(schedules[0])
+        assert "L" in out
+
+    def test_link_gantt_bandwidth(self, schedules):
+        out = link_gantt(schedules[1])
+        assert "%" in out or "no links used" in out
+
+    def test_link_gantt_classic(self, schedules):
+        assert "contention-free" in link_gantt(schedules[2])
+
+    def test_width_respected(self, schedules):
+        narrow = processor_gantt(schedules[0], width=30)
+        assert max(len(line) for line in narrow.splitlines()) <= 30 + 20
+
+
+class TestReports:
+    def test_schedule_report_sections(self, schedules):
+        out = schedule_report(schedules[0])
+        assert "makespan" in out
+        assert "processors:" in out
+
+    def test_schedule_report_no_gantt(self, schedules):
+        out = schedule_report(schedules[0], gantt=False)
+        assert "processors:" not in out
+
+    def test_comparison_report(self, schedules):
+        out = comparison_report(schedules)
+        assert "ba" in out and "bbsa" in out and "classic" in out
+        assert "+0.0%" in out  # first row compares to itself
+
+    def test_comparison_empty(self):
+        assert comparison_report([]) == "(no schedules)"

@@ -1,0 +1,86 @@
+"""Tests for SVG and Chrome-trace schedule exports."""
+
+import json
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.core.ba import BAScheduler
+from repro.core.bbsa import BBSAScheduler
+from repro.core.classic import ClassicScheduler
+from repro.viz.svg import schedule_to_svg
+from repro.viz.trace import schedule_to_trace
+
+
+@pytest.fixture
+def schedules(diamond4, net4, fork8, wan16):
+    return {
+        "ba": BAScheduler().schedule(diamond4, net4),
+        # fork-join on a WAN guarantees cross-processor (bandwidth) traffic
+        "bbsa": BBSAScheduler().schedule(fork8, wan16),
+        "classic": ClassicScheduler().schedule(diamond4, net4),
+    }
+
+
+class TestSvg:
+    def test_is_well_formed_xml(self, schedules):
+        for s in schedules.values():
+            ET.fromstring(schedule_to_svg(s))
+
+    def test_contains_all_tasks(self, schedules, diamond4):
+        svg = schedule_to_svg(schedules["ba"])
+        for tid in diamond4.task_ids():
+            assert f"task {tid}:" in svg
+
+    def test_link_lanes_for_slot_schedules(self, schedules):
+        svg = schedule_to_svg(schedules["ba"])
+        assert "edge 0-&gt;" in svg or "edge 0->" in svg
+
+    def test_bandwidth_lanes(self, schedules):
+        svg = schedule_to_svg(schedules["bbsa"])
+        assert "% used over" in svg or "used over" in svg
+
+    def test_no_links_flag(self, schedules):
+        svg = schedule_to_svg(schedules["ba"], include_links=False)
+        assert "edge 0" not in svg
+
+    def test_mentions_makespan(self, schedules):
+        s = schedules["ba"]
+        assert f"{s.makespan:.1f}" in schedule_to_svg(s)
+
+
+class TestTrace:
+    def test_is_valid_json(self, schedules):
+        for s in schedules.values():
+            doc = json.loads(schedule_to_trace(s))
+            assert "traceEvents" in doc
+
+    def test_task_events_cover_placements(self, schedules):
+        s = schedules["ba"]
+        doc = json.loads(schedule_to_trace(s))
+        task_events = [e for e in doc["traceEvents"] if e.get("ph") == "X" and e["pid"] < 10_000]
+        assert len(task_events) == len(s.placements)
+
+    def test_link_events_present(self, schedules):
+        doc = json.loads(schedule_to_trace(schedules["ba"]))
+        link_events = [e for e in doc["traceEvents"] if e.get("pid", 0) >= 10_000]
+        assert link_events
+
+    def test_bandwidth_counters(self, schedules):
+        doc = json.loads(schedule_to_trace(schedules["bbsa"]))
+        counters = [e for e in doc["traceEvents"] if e.get("ph") == "C"]
+        assert counters
+
+    def test_time_unit_scaling(self, schedules):
+        s = schedules["ba"]
+        fast = json.loads(schedule_to_trace(s, time_unit=1.0))
+        slow = json.loads(schedule_to_trace(s, time_unit=10.0))
+        f_ts = max(e.get("ts", 0) for e in fast["traceEvents"])
+        s_ts = max(e.get("ts", 0) for e in slow["traceEvents"])
+        assert s_ts == pytest.approx(10 * f_ts, rel=0.01)
+
+    def test_durations_positive(self, schedules):
+        doc = json.loads(schedule_to_trace(schedules["ba"]))
+        for e in doc["traceEvents"]:
+            if e.get("ph") == "X":
+                assert e["dur"] >= 1

@@ -3,13 +3,29 @@
 Not a paper figure — this measures the *cost* of each algorithm on a fixed
 mid-size workload so regressions in the engines (gap search, deferral
 cascade, fluid sweep, routing probes) show up as timing changes.
+
+The timed benchmark runs with observability **disabled** (the production
+configuration).  A separate instrumented pass per algorithm — outside the
+benchmark timer — collects the per-phase breakdown (routing vs insertion vs
+processor selection vs task placement) through :mod:`repro.obs.profile`
+plus the run's decision counters, and the session writes the lot to
+``BENCH_scheduler_cost.json`` in the working directory.
 """
+
+import json
+from pathlib import Path
+from time import perf_counter
 
 import pytest
 
+from repro import obs
 from repro.core import SCHEDULERS
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.workloads import paper_workload
+
+PHASES = ("routing", "insertion", "processor_selection", "task_placement")
+
+_phase_report: dict[str, dict] = {}
 
 
 @pytest.fixture(scope="module")
@@ -18,11 +34,35 @@ def workload():
     return paper_workload(config, ccr=2.0, n_procs=16, rng=12345)
 
 
+def _profiled_run(algo: str, graph, net) -> dict:
+    """One instrumented schedule() call: wall time + phase/counter breakdown.
+
+    Reads the process-wide instruments directly (they were just reset), so
+    schedulers that bypass ``Schedule.stats`` attachment still report.
+    """
+    obs.enable(obs.NullSink())
+    obs.reset()
+    try:
+        t0 = perf_counter()
+        schedule = SCHEDULERS[algo]().schedule(graph, net)
+        wall = perf_counter() - t0
+        assert schedule.makespan > 0
+        timings = obs.PROFILER.snapshot()
+        counters = obs.METRICS.snapshot()["counters"]
+    finally:
+        obs.disable()
+    phases = {
+        p: timings.get(p, {"total": 0.0, "count": 0}) for p in PHASES
+    }
+    return {"wall_s": wall, "phases": phases, "counters": counters}
+
+
 @pytest.mark.parametrize("algo", sorted(SCHEDULERS))
 def test_scheduler_runtime(benchmark, workload, algo):
     scheduler_cls = SCHEDULERS[algo]
     result = benchmark(lambda: scheduler_cls().schedule(workload.graph, workload.net))
     assert result.makespan > 0
+    _phase_report[algo] = _profiled_run(algo, workload.graph, workload.net)
 
 
 @pytest.mark.parametrize("n_tasks", [25, 50, 100])
@@ -36,3 +76,14 @@ def test_oihsa_scaling_with_tasks(benchmark, n_tasks):
     scheduler_cls = SCHEDULERS["oihsa"]
     result = benchmark(lambda: scheduler_cls().schedule(graph, net))
     assert result.makespan > 0
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_phase_report():
+    """After the module's benchmarks, dump the instrumented breakdown."""
+    yield
+    if not _phase_report:
+        return
+    out = Path("BENCH_scheduler_cost.json")
+    out.write_text(json.dumps(_phase_report, indent=1, sort_keys=True))
+    print(f"\nwrote per-phase scheduler cost breakdown to {out.resolve()}")

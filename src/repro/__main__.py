@@ -3,7 +3,11 @@
 Commands:
 
 - ``figures``  — regenerate the paper's figures (choose scale / subset),
-- ``schedule`` — schedule a generated workload and print report + Gantt,
+- ``schedule`` — schedule a generated workload and print report + Gantt
+  (``--stats`` adds decision counters and phase timings, ``--trace-out``
+  streams the decision-event log as JSONL),
+- ``profile``  — time each scheduler on a common workload and print the
+  per-phase cost breakdown (routing / insertion / processor selection),
 - ``ablation`` — run one of the named design-choice ablations,
 - ``export``   — schedule a workload and write SVG / Chrome-trace / JSON,
 - ``info``     — library, algorithm and registry overview.
@@ -35,6 +39,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 
 
 def _cmd_schedule(args: argparse.Namespace) -> int:
+    from repro import obs
     from repro.core import SCHEDULERS
     from repro.core.validate import validate_schedule
     from repro.network.builders import TOPOLOGY_BUILDERS
@@ -54,9 +59,76 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         net = builder(args.procs, args.procs, rng=args.seed + 1)
     else:
         net = builder(args.procs, rng=args.seed + 1)
-    schedule = SCHEDULERS[args.algorithm]().schedule(graph, net)
+    observing = args.stats or args.trace_out is not None
+    if observing:
+        sink = obs.JsonlSink(args.trace_out) if args.trace_out else obs.ListSink()
+        obs.enable(sink)
+    try:
+        schedule = SCHEDULERS[args.algorithm]().schedule(graph, net)
+    finally:
+        if observing:
+            obs.disable()
     validate_schedule(schedule)
     print(schedule_report(schedule, gantt=not args.no_gantt))
+    if args.trace_out:
+        print(f"\nwrote decision-event log to {args.trace_out}")
+    return 0
+
+
+#: workload sizes for ``profile`` (tasks, processors)
+_PROFILE_SCALES = {"smoke": (24, 8), "default": (80, 16)}
+
+
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
+    from repro import obs
+    from repro.core import SCHEDULERS
+    from repro.network.builders import random_wan
+    from repro.taskgraph.ccr import scale_to_ccr
+    from repro.taskgraph.generators import random_layered_dag
+    from repro.utils.tables import format_table
+
+    for name in args.algorithms:
+        if name not in SCHEDULERS:
+            print(f"unknown algorithm {name!r}; known: {sorted(SCHEDULERS)}")
+            return 2
+    n_tasks, n_procs = _PROFILE_SCALES[args.scale]
+    graph = scale_to_ccr(random_layered_dag(n_tasks, rng=args.seed), args.ccr)
+    net = random_wan(n_procs, rng=args.seed + 1)
+    phases = ("routing", "insertion", "processor_selection", "task_placement")
+    rows = []
+    for name in args.algorithms:
+        obs.enable(obs.NullSink())
+        obs.reset()
+        t0 = perf_counter()
+        try:
+            for _ in range(args.repeat):
+                schedule = SCHEDULERS[name]().schedule(graph, net)
+            wall = perf_counter() - t0
+            stats = schedule.stats
+        finally:
+            obs.disable()
+        timed = {p: stats.timings.get(p, {"total": 0.0})["total"] for p in phases}
+        other = wall / args.repeat - sum(timed.values())
+        rows.append(
+            [name, f"{wall / args.repeat * 1e3:.2f}"]
+            + [f"{timed[p] * 1e3:.2f}" for p in phases]
+            + [f"{max(0.0, other) * 1e3:.2f}"]
+        )
+    print(
+        f"workload: {n_tasks} tasks (CCR {args.ccr:g}) on {n_procs}-processor "
+        f"random WAN, seed {args.seed}; times per schedule() call"
+        + (f", wall averaged over {args.repeat} runs" if args.repeat > 1 else "")
+    )
+    print()
+    print(
+        format_table(
+            ["algorithm", "wall ms", "routing", "insertion", "proc-select",
+             "task-place", "other"],
+            rows,
+        )
+    )
     return 0
 
 
@@ -137,7 +209,29 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--procs", type=int, default=8)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--no-gantt", action="store_true")
+    p.add_argument(
+        "--stats", action="store_true",
+        help="enable observability; report decision counters and phase timings",
+    )
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="stream the decision-event log as JSONL (implies --stats)",
+    )
     p.set_defaults(fn=_cmd_schedule)
+
+    p = sub.add_parser(
+        "profile",
+        help="time each scheduler on a common workload, print phase breakdown",
+    )
+    p.add_argument("--scale", choices=sorted(_PROFILE_SCALES), default="default")
+    p.add_argument(
+        "--algorithms", nargs="+", default=["ba", "oihsa", "bbsa", "classic"],
+        metavar="ALGO", help="schedulers to profile (default: the paper's)",
+    )
+    p.add_argument("--ccr", type=float, default=2.0)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--repeat", type=int, default=1, help="runs to average over")
+    p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("ablation", help="run a design-choice ablation")
     p.add_argument("name", nargs="?", default=None)

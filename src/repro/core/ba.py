@@ -35,6 +35,7 @@ from repro.linksched.insertion import schedule_edge_basic
 from repro.linksched.state import LinkScheduleState
 from repro.network.routing import bfs_route
 from repro.network.topology import NetworkTopology, Route, Vertex
+from repro.obs import OBS, span
 from repro.procsched.state import ProcessorState
 from repro.taskgraph.graph import TaskGraph
 from repro.types import EdgeKey, TaskId
@@ -73,7 +74,8 @@ class BAScheduler(ContentionScheduler):
         key = (src, dst)
         route = self._route_cache.get(key)
         if route is None:
-            route = bfs_route(net, src, dst)
+            with span("routing"):
+                route = bfs_route(net, src, dst)
             self._route_cache[key] = route
         return route
 
@@ -98,9 +100,10 @@ class BAScheduler(ContentionScheduler):
             else:
                 ready = latest if self.shared_ready_time else src_pl.finish
                 route = self._bfs(net, src_pl.processor, proc.vid)
-                arrival = schedule_edge_basic(
-                    self._lstate, e.key, route, e.cost, ready, self.comm
-                )
+                with span("insertion"):
+                    arrival = schedule_edge_basic(
+                        self._lstate, e.key, route, e.cost, ready, self.comm
+                    )
             if arrivals_out is not None:
                 arrivals_out[e.key] = arrival
             t_dr = max(t_dr, arrival)
@@ -118,28 +121,39 @@ class BAScheduler(ContentionScheduler):
         best: tuple[float, int] | None = None
         chosen = procs[0]
         if self.processor_choice == "blind-eft":
-            latest = max(
-                (pstate.placement(p).finish for p in graph.predecessors(tid)),
-                default=0.0,
-            )
+            with span("processor_selection"):
+                latest = max(
+                    (pstate.placement(p).finish for p in graph.predecessors(tid)),
+                    default=0.0,
+                )
+                for proc in procs:
+                    finish = (
+                        max(latest, pstate.finish_time(proc.vid)) + weight / proc.speed
+                    )
+                    key = (finish, proc.vid)
+                    if best is None or key < best:
+                        best, chosen = key, proc
+            return chosen
+        # Tentative probing books and rolls back real link slots; keep the
+        # decision log to committed work only (counters still accumulate).
+        with span("processor_selection"), OBS.bus.quiet():
             for proc in procs:
-                finish = max(latest, pstate.finish_time(proc.vid)) + weight / proc.speed
+                if OBS.on:
+                    OBS.metrics.counter("scheduler.processors_probed").inc()
+                self._lstate.begin()
+                try:
+                    t_dr = self._book_in_edges(graph, net, tid, proc, pstate, None)
+                    _, _, finish = pstate.probe(
+                        proc.vid,
+                        weight / proc.speed,
+                        t_dr,
+                        insertion=self.task_insertion,
+                    )
+                finally:
+                    self._lstate.rollback()
                 key = (finish, proc.vid)
                 if best is None or key < best:
                     best, chosen = key, proc
-            return chosen
-        for proc in procs:
-            self._lstate.begin()
-            try:
-                t_dr = self._book_in_edges(graph, net, tid, proc, pstate, None)
-                _, _, finish = pstate.probe(
-                    proc.vid, weight / proc.speed, t_dr, insertion=self.task_insertion
-                )
-            finally:
-                self._lstate.rollback()
-            key = (finish, proc.vid)
-            if best is None or key < best:
-                best, chosen = key, proc
         return chosen
 
     def _place_task(
@@ -151,6 +165,15 @@ class BAScheduler(ContentionScheduler):
         pstate: ProcessorState,
     ) -> None:
         chosen = self._select_processor(graph, net, tid, procs, pstate)
+        if OBS.on:
+            OBS.metrics.counter("scheduler.processors_chosen").inc()
+            OBS.emit(
+                "processor_chosen",
+                task=tid,
+                proc=chosen.vid,
+                policy=self.processor_choice,
+                candidates=len(procs),
+            )
         t_dr = self._book_in_edges(graph, net, tid, chosen, pstate, self._arrivals)
         self._place_on(
             pstate,

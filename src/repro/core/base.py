@@ -19,6 +19,7 @@ from repro.core.schedule import Schedule
 from repro.exceptions import SchedulingError
 from repro.network.topology import NetworkTopology, Vertex
 from repro.network.validate import validate_topology
+from repro.obs import OBS, ScheduleStats, diff_snapshots, diff_timings, span
 from repro.procsched.state import ProcessorState
 from repro.taskgraph.graph import CommEdge, TaskGraph
 from repro.taskgraph.priorities import priority_list
@@ -36,15 +37,54 @@ class ContentionScheduler(ABC):
     task_insertion: bool = False
 
     def schedule(self, graph: TaskGraph, net: NetworkTopology) -> Schedule:
-        """Schedule ``graph`` onto ``net`` and return the full schedule."""
+        """Schedule ``graph`` onto ``net`` and return the full schedule.
+
+        When :mod:`repro.obs` is enabled the returned schedule carries a
+        ``stats`` attachment: the run's counter/histogram deltas, per-phase
+        timings, and (for in-memory sinks) its decision-event log.
+        """
         validate_graph(graph)
         validate_topology(net)
+        observing = OBS.on
+        if observing:
+            metrics_before = OBS.metrics.snapshot()
+            timings_before = OBS.profiler.snapshot()
+            event_mark = OBS.bus.mark()
         self._begin(graph, net)
         procs = sorted(net.processors(), key=lambda p: p.vid)
         pstate = ProcessorState()
         for tid in priority_list(graph):
             self._place_task(graph, net, tid, procs, pstate)
-        return self._finish(graph, net, pstate)
+        result = self._finish(graph, net, pstate)
+        if observing:
+            self._attach_stats(
+                result, metrics_before, timings_before, event_mark
+            )
+        return result
+
+    def _attach_stats(
+        self,
+        result: Schedule,
+        metrics_before,
+        timings_before,
+        event_mark: int,
+    ) -> None:
+        """Summarize what this run did and hang it off the schedule."""
+        from repro.core.metrics import link_utilization
+
+        util = link_utilization(result)
+        gauges = OBS.metrics
+        gauges.gauge(f"schedule.{self.name}.makespan").set(result.makespan)
+        gauges.gauge(f"schedule.{self.name}.links_used").set(float(len(util)))
+        if util:
+            gauges.gauge(f"schedule.{self.name}.max_link_utilization").set(
+                max(util.values())
+            )
+        result.stats = ScheduleStats(
+            metrics=diff_snapshots(metrics_before, OBS.metrics.snapshot()),
+            timings=diff_timings(timings_before, OBS.profiler.snapshot()),
+            events=OBS.bus.since(event_mark),
+        )
 
     # -- hooks ----------------------------------------------------------------
 
@@ -129,7 +169,8 @@ class ContentionScheduler(ABC):
         """Book the task on ``proc``; return its finish time."""
         if proc.speed <= 0:
             raise SchedulingError(f"processor {proc.vid} has invalid speed")
-        placement = pstate.place(
-            tid, proc.vid, weight / proc.speed, data_ready, insertion=insertion
-        )
+        with span("task_placement"):
+            placement = pstate.place(
+                tid, proc.vid, weight / proc.speed, data_ready, insertion=insertion
+            )
         return placement.finish

@@ -15,6 +15,7 @@ from repro.linksched.bandwidth import BandwidthLinkState
 from repro.linksched.commmodel import CUT_THROUGH, CommModel
 from repro.network.routing import bfs_route, dijkstra_route
 from repro.network.topology import Link, NetworkTopology, Vertex
+from repro.obs import OBS, span
 from repro.procsched.state import ProcessorState
 from repro.taskgraph.graph import TaskGraph
 from repro.types import EdgeKey, TaskId
@@ -50,12 +51,16 @@ class BBSAScheduler(ContentionScheduler):
 
     def _route(self, net: NetworkTopology, src: int, dst: int, cost: float, ready: float):
         if not self.modified_routing:
-            return bfs_route(net, src, dst)
+            with span("routing"):
+                return bfs_route(net, src, dst)
 
         def probe(link: Link, t: float) -> float:
+            if OBS.on:
+                OBS.metrics.counter("bandwidth.probes").inc()
             return self._bstate.probe_link(link, cost, t)
 
-        return dijkstra_route(net, src, dst, ready, probe)
+        with span("routing"):
+            return dijkstra_route(net, src, dst, ready, probe)
 
     def _place_task(
         self,
@@ -65,10 +70,20 @@ class BBSAScheduler(ContentionScheduler):
         procs: list[Vertex],
         pstate: ProcessorState,
     ) -> None:
-        proc = self._mls_select_processor(
-            graph, tid, procs, pstate, self._mls,
-            local_comm_exempt=self.local_comm_exempt,
-        )
+        with span("processor_selection"):
+            proc = self._mls_select_processor(
+                graph, tid, procs, pstate, self._mls,
+                local_comm_exempt=self.local_comm_exempt,
+            )
+        if OBS.on:
+            OBS.metrics.counter("scheduler.processors_chosen").inc()
+            OBS.emit(
+                "processor_chosen",
+                task=tid,
+                proc=proc.vid,
+                policy="mls-estimate",
+                candidates=len(procs),
+            )
         weight = graph.task(tid).weight
         if self.edge_priority:
             edges = self._in_edges_by_cost(graph, tid)
@@ -82,9 +97,21 @@ class BBSAScheduler(ContentionScheduler):
                 self._bstate.schedule_edge(e.key, [], e.cost, src_pl.finish, self.comm)
             else:
                 route = self._route(net, src_pl.processor, proc.vid, e.cost, src_pl.finish)
-                arrival = self._bstate.schedule_edge(
-                    e.key, route, e.cost, src_pl.finish, self.comm
-                )
+                with span("insertion"):
+                    arrival = self._bstate.schedule_edge(
+                        e.key, route, e.cost, src_pl.finish, self.comm
+                    )
+                if OBS.on:
+                    OBS.metrics.counter("insertion.edges_scheduled").inc()
+                    OBS.emit(
+                        "edge_scheduled",
+                        t=arrival,
+                        edge=list(e.key),
+                        policy="bandwidth",
+                        links=[l.lid for l in route],
+                        ready=src_pl.finish,
+                        arrival=arrival,
+                    )
             self._arrivals[e.key] = arrival
             t_dr = max(t_dr, arrival)
         self._place_on(pstate, tid, proc, weight, t_dr, insertion=self.task_insertion)

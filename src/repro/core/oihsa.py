@@ -26,6 +26,7 @@ from repro.linksched.optimal_insertion import schedule_edge_optimal
 from repro.linksched.state import LinkScheduleState
 from repro.network.routing import bfs_route, dijkstra_route
 from repro.network.topology import Link, NetworkTopology, Vertex
+from repro.obs import OBS, span
 from repro.procsched.state import ProcessorState
 from repro.taskgraph.graph import TaskGraph
 from repro.types import EdgeKey, TaskId
@@ -74,13 +75,15 @@ class OIHSAScheduler(ContentionScheduler):
         ready: float,
     ):
         if not self.modified_routing:
-            return bfs_route(net, src, dst)
+            with span("routing"):
+                return bfs_route(net, src, dst)
 
         def probe(link: Link, t: float) -> float:
             _, _, finish = probe_basic(self._lstate, link, cost, t)
             return finish
 
-        return dijkstra_route(net, src, dst, ready, probe)
+        with span("routing"):
+            return dijkstra_route(net, src, dst, ready, probe)
 
     def _place_task(
         self,
@@ -92,10 +95,20 @@ class OIHSAScheduler(ContentionScheduler):
     ) -> None:
         from repro.linksched.insertion import schedule_edge_basic
 
-        proc = self._mls_select_processor(
-            graph, tid, procs, pstate, self._mls,
-            local_comm_exempt=self.local_comm_exempt,
-        )
+        with span("processor_selection"):
+            proc = self._mls_select_processor(
+                graph, tid, procs, pstate, self._mls,
+                local_comm_exempt=self.local_comm_exempt,
+            )
+        if OBS.on:
+            OBS.metrics.counter("scheduler.processors_chosen").inc()
+            OBS.emit(
+                "processor_chosen",
+                task=tid,
+                proc=proc.vid,
+                policy="mls-estimate",
+                candidates=len(procs),
+            )
         weight = graph.task(tid).weight
         if self.edge_priority:
             edges = self._in_edges_by_cost(graph, tid)
@@ -112,9 +125,10 @@ class OIHSAScheduler(ContentionScheduler):
                 route = self._route(
                     net, src_pl.processor, proc.vid, e.cost, src_pl.finish
                 )
-                arrival = book(
-                    self._lstate, e.key, route, e.cost, src_pl.finish, self.comm
-                )
+                with span("insertion"):
+                    arrival = book(
+                        self._lstate, e.key, route, e.cost, src_pl.finish, self.comm
+                    )
             self._arrivals[e.key] = arrival
             t_dr = max(t_dr, arrival)
         self._place_on(pstate, tid, proc, weight, t_dr, insertion=self.task_insertion)

@@ -10,6 +10,7 @@ from repro.linksched.commmodel import CUT_THROUGH, CommModel
 from repro.linksched.packets import PacketLinkState
 from repro.linksched.state import LinkScheduleState
 from repro.network.topology import NetworkTopology
+from repro.obs import ScheduleStats
 from repro.procsched.state import TaskPlacement
 from repro.taskgraph.graph import TaskGraph
 from repro.types import EdgeKey, TaskId
@@ -36,6 +37,9 @@ class Schedule:
     packet_state: PacketLinkState | None = None
     #: switching mode / hop delay the schedule was built (and validates) under
     comm: CommModel = CUT_THROUGH
+    #: observability capture of the producing run (None unless ``repro.obs``
+    #: was enabled while scheduling)
+    stats: ScheduleStats | None = None
 
     @property
     def makespan(self) -> float:

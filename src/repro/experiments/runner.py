@@ -13,15 +13,22 @@ from repro.core.validate import validate_schedule
 from repro.exceptions import ReproError
 from repro.experiments.config import ExperimentConfig
 from repro.experiments.workloads import WorkloadInstance, paper_workload
+from repro.obs import OBS, ScheduleStats
 from repro.utils.rng import as_rng, spawn_rng
 
 
 @dataclass(frozen=True)
 class ComparisonResult:
-    """Makespans of all algorithms on one workload instance."""
+    """Makespans of all algorithms on one workload instance.
+
+    ``stats`` carries each algorithm's observability capture (decision
+    counters, phase timings) when :mod:`repro.obs` was enabled during the
+    run, so figure points can be explained, not just plotted.
+    """
 
     instance: WorkloadInstance
     makespans: dict[str, float]
+    stats: dict[str, ScheduleStats] | None = None
 
     def improvement_over(self, baseline: str, algorithm: str) -> float:
         """Percent makespan improvement of ``algorithm`` over ``baseline``."""
@@ -39,8 +46,14 @@ def compare_once(
     *,
     validate: bool = True,
 ) -> ComparisonResult:
-    """Schedule ``instance`` with each named algorithm."""
+    """Schedule ``instance`` with each named algorithm.
+
+    With observability enabled, each schedule's ``stats`` capture is kept in
+    the result so callers can aggregate per-decision metrics alongside the
+    makespans.
+    """
     makespans: dict[str, float] = {}
+    stats: dict[str, ScheduleStats] = {}
     for name in algorithms:
         try:
             scheduler_cls = SCHEDULERS[name]
@@ -52,7 +65,11 @@ def compare_once(
         if validate:
             validate_schedule(schedule)
         makespans[name] = schedule.makespan
-    return ComparisonResult(instance=instance, makespans=makespans)
+        if schedule.stats is not None:
+            stats[name] = schedule.stats
+    return ComparisonResult(
+        instance=instance, makespans=makespans, stats=stats or None
+    )
 
 
 def improvement_series(
@@ -61,6 +78,7 @@ def improvement_series(
     sweep: str,
     validate: bool = False,
     with_sem: bool = False,
+    with_metrics: bool = False,
 ) -> dict[str, list[float]]:
     """Mean improvement over the baseline along one swept axis.
 
@@ -71,6 +89,14 @@ def improvement_series(
     ``with_sem=True`` also ``"<algorithm>_sem"`` series holding the standard
     error of each mean (the per-instance spread is large — see
     EXPERIMENTS.md — so the error bars matter when reading the curves).
+
+    ``with_metrics=True`` additionally records an observability snapshot per
+    figure point: every decision counter each algorithm incremented (route
+    probes, insertion probes, deferrals, ...) is averaged across the point's
+    instances and returned as a ``"<algorithm>:<counter>"`` series, so the
+    *why* behind an improvement curve (e.g. OIHSA deferring slots where BA
+    queues) comes out of the same sweep.  Enables :mod:`repro.obs` for the
+    duration when it isn't already on.
     """
     if sweep not in ("ccr", "procs"):
         raise ReproError(f"sweep must be 'ccr' or 'procs', got {sweep!r}")
@@ -79,27 +105,64 @@ def improvement_series(
     x_values = config.ccrs if sweep == "ccr" else config.proc_counts
     series: dict[str, list[float]] = {name: [] for name in candidates}
     sems: dict[str, list[float]] = {name: [] for name in candidates}
-    for x in x_values:
-        inner = config.ccrs if sweep == "procs" else config.proc_counts
-        per_alg: dict[str, list[float]] = {name: [] for name in candidates}
-        for y in inner:
-            ccr = x if sweep == "ccr" else float(y)
-            n_procs = int(y) if sweep == "ccr" else int(x)
-            for rep_rng in spawn_rng(master, config.repetitions):
-                instance = paper_workload(config, ccr, n_procs, rep_rng)
-                result = compare_once(instance, config.algorithms, validate=validate)
-                for name in candidates:
-                    per_alg[name].append(
-                        result.improvement_over(config.baseline, name)
+    metric_series: dict[str, list[float]] = {}
+    obs_was_on = OBS.on
+    if with_metrics and not obs_was_on:
+        from repro import obs as _obs
+
+        _obs.enable(_obs.NullSink())
+    try:
+        for point_idx, x in enumerate(x_values):
+            inner = config.ccrs if sweep == "procs" else config.proc_counts
+            per_alg: dict[str, list[float]] = {name: [] for name in candidates}
+            point_counters: dict[str, list[float]] = {}
+            point_instances = 0
+            for y in inner:
+                ccr = x if sweep == "ccr" else float(y)
+                n_procs = int(y) if sweep == "ccr" else int(x)
+                for rep_rng in spawn_rng(master, config.repetitions):
+                    instance = paper_workload(config, ccr, n_procs, rep_rng)
+                    result = compare_once(
+                        instance, config.algorithms, validate=validate
                     )
-        for name in candidates:
-            values = np.asarray(per_alg[name])
-            series[name].append(float(values.mean()))
-            sems[name].append(
-                float(values.std(ddof=1) / np.sqrt(len(values))) if len(values) > 1 else 0.0
-            )
+                    for name in candidates:
+                        per_alg[name].append(
+                            result.improvement_over(config.baseline, name)
+                        )
+                    if with_metrics and result.stats:
+                        point_instances += 1
+                        for name, stats in result.stats.items():
+                            for cname, value in (
+                                stats.metrics.get("counters", {}).items()
+                            ):
+                                key = f"{name}:{cname}"
+                                point_counters.setdefault(key, []).append(value)
+            for name in candidates:
+                values = np.asarray(per_alg[name])
+                series[name].append(float(values.mean()))
+                sems[name].append(
+                    float(values.std(ddof=1) / np.sqrt(len(values)))
+                    if len(values) > 1
+                    else 0.0
+                )
+            if with_metrics:
+                # A counter an algorithm never touched at this point means 0,
+                # not absent — pad so every series spans every sweep point.
+                for key, values in point_counters.items():
+                    metric_series.setdefault(key, [0.0] * point_idx).append(
+                        sum(values) / max(1, point_instances)
+                    )
+                for values in metric_series.values():
+                    if len(values) < point_idx + 1:
+                        values.append(0.0)
+    finally:
+        if with_metrics and not obs_was_on:
+            from repro import obs as _obs
+
+            _obs.disable()
     series["_x"] = [float(x) for x in x_values]
     if with_sem:
         for name in candidates:
             series[f"{name}_sem"] = sems[name]
+    series.update(metric_series)
     return series

@@ -17,6 +17,7 @@ from repro.linksched.commmodel import CUT_THROUGH, CommModel
 from repro.linksched.slots import TimeSlot, find_gap
 from repro.linksched.state import LinkScheduleState
 from repro.network.topology import Link, Route
+from repro.obs import OBS
 from repro.types import EdgeKey
 
 
@@ -33,6 +34,8 @@ def probe_basic(
     """
     if cost < 0:
         raise SchedulingError(f"negative communication cost {cost}")
+    if OBS.on:
+        OBS.metrics.counter("insertion.probes").inc()
     duration = cost / link.speed
     return find_gap(state.slots(link.lid), duration, est, min_finish)
 
@@ -66,6 +69,17 @@ def schedule_edge_basic(
         index, start, finish = probe_basic(state, link, cost, est, min_finish)
         state.insert(link.lid, index, TimeSlot(edge, start, finish))
         est, min_finish = comm.next_constraints(start, finish)
+    if OBS.on:
+        OBS.metrics.counter("insertion.edges_scheduled").inc()
+        OBS.emit(
+            "edge_scheduled",
+            t=finish,
+            edge=list(edge),
+            policy="basic",
+            links=[l.lid for l in route],
+            ready=ready_time,
+            arrival=finish,
+        )
     return finish
 
 

@@ -33,6 +33,7 @@ from repro.linksched.commmodel import CUT_THROUGH, CommModel
 from repro.linksched.slots import TimeSlot
 from repro.linksched.state import LinkScheduleState
 from repro.network.topology import Link, Route
+from repro.obs import OBS
 from repro.types import EPS, EdgeKey
 
 
@@ -90,6 +91,9 @@ def probe_optimal(
     """
     if cost < 0:
         raise SchedulingError(f"negative communication cost {cost}")
+    observing = OBS.on
+    if observing:
+        OBS.metrics.counter("optimal.probes").inc()
     duration = cost / link.speed
     slots = state.slots(link.lid)
     n = len(slots)
@@ -112,6 +116,16 @@ def probe_optimal(
             cand = OptimalPlacement(i, start, finish, min(overflow, accum))
             # Head-most feasible gap == earliest start: keep scanning.
             best = cand
+        elif observing:
+            OBS.metrics.counter("optimal.gap_rejections").inc()
+            OBS.emit(
+                "probe_rejected",
+                t=start,
+                lid=link.lid,
+                index=i,
+                needed=finish,
+                available=slot.start + accum,
+            )
     return best
 
 
@@ -147,6 +161,18 @@ def commit_optimal(
         moved = s.shifted(delta)
         suffix.append(moved)
         prev_finish = moved.finish
+        if OBS.on:
+            OBS.metrics.counter("optimal.deferrals").inc()
+            OBS.metrics.histogram("optimal.deferral_amount").observe(delta)
+            OBS.emit(
+                "slot_deferred",
+                t=moved.start,
+                lid=link.lid,
+                edge=list(s.edge),
+                for_edge=list(edge),
+                delta=delta,
+                slack=slack,
+            )
     state.replace_suffix(link.lid, placement.index, suffix)
 
 
@@ -173,4 +199,15 @@ def schedule_edge_optimal(
         commit_optimal(state, link, edge, placement, comm)
         est, min_finish = comm.next_constraints(placement.start, placement.finish)
         finish = placement.finish
+    if OBS.on:
+        OBS.metrics.counter("insertion.edges_scheduled").inc()
+        OBS.emit(
+            "edge_scheduled",
+            t=finish,
+            edge=list(edge),
+            policy="optimal",
+            links=[l.lid for l in route],
+            ready=ready_time,
+            arrival=finish,
+        )
     return finish

@@ -21,6 +21,7 @@ from typing import Callable
 
 from repro.exceptions import RoutingError
 from repro.network.topology import Link, NetworkTopology, Route
+from repro.obs import OBS
 from repro.types import VertexId
 
 #: probe(link, ready_time) -> finish time of the communication on that link.
@@ -67,6 +68,17 @@ def bfs_route(net: NetworkTopology, src: VertexId, dst: VertexId) -> Route:
         route.append(link)
         cur = prev
     route.reverse()
+    if OBS.on:
+        OBS.metrics.counter("routing.bfs_routes").inc()
+        OBS.metrics.histogram("routing.route_length").observe(float(len(route)))
+        OBS.emit(
+            "route_probed",
+            policy="bfs",
+            src=src,
+            dst=dst,
+            hops=len(route),
+            links=[l.lid for l in route],
+        )
     return route
 
 
@@ -103,6 +115,7 @@ def dijkstra_route(
     # Heap entries carry (arrival, hops, vertex id); hops then vertex id are
     # the deterministic tie-breaks.
     heap: list[tuple[float, int, VertexId]] = [(ready_time, 0, src)]
+    relaxations = 0
     while heap:
         d, hops, u = heappop(heap)
         if u in done:
@@ -113,6 +126,7 @@ def dijkstra_route(
         for link, v in sorted(net.out_links(u), key=lambda lv: lv[0].lid):
             if v in done:
                 continue
+            relaxations += 1
             arrival = probe(link, d)
             if arrival < d:
                 raise RoutingError(
@@ -135,4 +149,19 @@ def dijkstra_route(
         route.append(link)
         cur = prev
     route.reverse()
+    if OBS.on:
+        OBS.metrics.counter("routing.dijkstra_routes").inc()
+        OBS.metrics.counter("routing.relaxations").inc(relaxations)
+        OBS.metrics.histogram("routing.route_length").observe(float(len(route)))
+        OBS.emit(
+            "route_probed",
+            t=dist[dst][0],
+            policy="dijkstra",
+            src=src,
+            dst=dst,
+            hops=len(route),
+            relaxations=relaxations,
+            arrival=dist[dst][0],
+            links=[l.lid for l in route],
+        )
     return route

@@ -1,0 +1,209 @@
+"""Counters, gauges and histograms for the scheduling pipeline.
+
+The registry is a flat namespace of dot-separated metric names
+(``insertion.probes``, ``routing.relaxations``, ``optimal.deferral_amount``);
+instruments are created on first use and memoized, so instrumentation sites
+can hold a reference once and ``inc()`` in the hot loop.
+
+Two snapshot operations support before/after accounting:
+
+- :meth:`MetricsRegistry.snapshot` — a plain-dict copy of every instrument,
+- :func:`diff_snapshots` — ``after - before`` for counters and histogram
+  count/sum (gauges and histogram min/max take the *after* value, since they
+  are level, not flow, quantities).
+
+``Schedule.stats`` stores the diff across one ``schedule()`` call, so nested
+or repeated runs don't bleed into each other even though the registry is
+process-wide.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Any
+
+Snapshot = dict[str, dict[str, Any]]
+
+
+class Counter:
+    """Monotonically increasing count of discrete occurrences."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A level quantity: last value written wins."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Streaming summary (count/sum/min/max/mean) of observed values."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.min = math.inf
+        self.max = -math.inf
+
+    def observe(self, value: float) -> None:
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+
+class MetricsRegistry:
+    """Name -> instrument map with snapshot/diff and text/JSON rendering."""
+
+    def __init__(self) -> None:
+        self._counters: dict[str, Counter] = {}
+        self._gauges: dict[str, Gauge] = {}
+        self._histograms: dict[str, Histogram] = {}
+
+    # -- instrument accessors (memoized) --------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        c = self._counters.get(name)
+        if c is None:
+            c = self._counters[name] = Counter()
+        return c
+
+    def gauge(self, name: str) -> Gauge:
+        g = self._gauges.get(name)
+        if g is None:
+            g = self._gauges[name] = Gauge()
+        return g
+
+    def histogram(self, name: str) -> Histogram:
+        h = self._histograms.get(name)
+        if h is None:
+            h = self._histograms[name] = Histogram()
+        return h
+
+    def reset(self) -> None:
+        """Drop every instrument (tests and per-run isolation)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- snapshots -------------------------------------------------------------
+
+    def snapshot(self) -> Snapshot:
+        """Immutable plain-dict copy of all current values."""
+        return {
+            "counters": {k: c.value for k, c in self._counters.items()},
+            "gauges": {k: g.value for k, g in self._gauges.items()},
+            "histograms": {
+                k: {"count": h.count, "sum": h.total, "min": h.min, "max": h.max}
+                for k, h in self._histograms.items()
+            },
+        }
+
+    # -- rendering -------------------------------------------------------------
+
+    @staticmethod
+    def render_text(snapshot: Snapshot) -> str:
+        """Aligned ``name value`` lines, nonzero instruments only."""
+        lines: list[str] = []
+        for name in sorted(snapshot.get("counters", {})):
+            value = snapshot["counters"][name]
+            if value:
+                lines.append(f"{name} = {value:g}")
+        for name in sorted(snapshot.get("gauges", {})):
+            lines.append(f"{name} = {snapshot['gauges'][name]:g}")
+        for name in sorted(snapshot.get("histograms", {})):
+            h = snapshot["histograms"][name]
+            if h["count"]:
+                mean = h["sum"] / h["count"]
+                lines.append(
+                    f"{name} = count {h['count']:g}, mean {mean:g}, "
+                    f"min {h['min']:g}, max {h['max']:g}"
+                )
+        return "\n".join(lines) if lines else "(no metrics recorded)"
+
+    @staticmethod
+    def render_json(snapshot: Snapshot) -> str:
+        def finite(v: Any) -> Any:
+            if isinstance(v, float) and not math.isfinite(v):
+                return None
+            return v
+
+        doc = {
+            section: {
+                name: (
+                    {k: finite(x) for k, x in val.items()}
+                    if isinstance(val, dict)
+                    else finite(val)
+                )
+                for name, val in entries.items()
+            }
+            for section, entries in snapshot.items()
+        }
+        return json.dumps(doc, indent=1, sort_keys=True)
+
+    def to_text(self) -> str:
+        return self.render_text(self.snapshot())
+
+    def to_json(self) -> str:
+        return self.render_json(self.snapshot())
+
+
+def diff_snapshots(before: Snapshot, after: Snapshot) -> Snapshot:
+    """What happened *between* two snapshots.
+
+    Counters and histogram count/sum subtract; gauges and histogram min/max
+    are levels, so the ``after`` value is kept (gauges only when they were
+    created or moved during the interval).  Instruments absent from
+    ``before`` are treated as zero/fresh.
+    """
+    counters = {}
+    for name, value in after.get("counters", {}).items():
+        delta = value - before.get("counters", {}).get(name, 0.0)
+        if delta:
+            counters[name] = delta
+    before_gauges = before.get("gauges", {})
+    gauges = {
+        name: value
+        for name, value in after.get("gauges", {}).items()
+        if name not in before_gauges or value != before_gauges[name]
+    }
+    histograms = {}
+    for name, h in after.get("histograms", {}).items():
+        h0 = before.get("histograms", {}).get(
+            name, {"count": 0, "sum": 0.0, "min": math.inf, "max": -math.inf}
+        )
+        count = h["count"] - h0["count"]
+        if count:
+            histograms[name] = {
+                "count": count,
+                "sum": h["sum"] - h0["sum"],
+                "min": h["min"],
+                "max": h["max"],
+            }
+    return {"counters": counters, "gauges": gauges, "histograms": histograms}
+
+
+#: The process-wide registry all instrumentation writes to.
+METRICS = MetricsRegistry()

@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 from repro.exceptions import SchedulingError
+from repro.obs import OBS
 from repro.procsched.timeline import TaskSlot, find_task_gap, insert_task_slot
 from repro.types import TaskId, VertexId
 
@@ -100,6 +101,8 @@ class ProcessorState:
         self, vid: VertexId, duration: float, est: float, *, insertion: bool = True
     ) -> tuple[int, float, float]:
         """Placement a task would get on ``vid`` without committing."""
+        if OBS.on:
+            OBS.metrics.counter("procsched.probes").inc()
         return find_task_gap(self.timeline(vid), duration, est, insertion=insertion)
 
     def place(
@@ -121,4 +124,14 @@ class ProcessorState:
         self._placements[task] = placement
         if self._txn_tasks is not None:
             self._txn_tasks.append(task)
+        if OBS.on:
+            OBS.metrics.counter("procsched.tasks_placed").inc()
+            OBS.emit(
+                "task_placed",
+                t=start,
+                task=task,
+                proc=vid,
+                start=start,
+                finish=finish,
+            )
         return placement

@@ -10,6 +10,7 @@ from repro.core.metrics import (
     speedup,
 )
 from repro.core.schedule import Schedule
+from repro.obs import ScheduleStats
 from repro.utils.tables import format_table
 from repro.viz.gantt import link_gantt, processor_gantt
 
@@ -38,12 +39,62 @@ def schedule_report(schedule: Schedule, *, gantt: bool = True, width: int = 78) 
         schedule.summary(),
         format_table(["metric", "value"], rows),
     ]
+    if schedule.stats is not None:
+        parts.append("instrumentation:")
+        parts.append(stats_report(schedule.stats))
     if gantt:
         parts.append("processors:")
         parts.append(processor_gantt(schedule, width))
         parts.append("links:")
         parts.append(link_gantt(schedule, width))
     return "\n\n".join(parts)
+
+
+def stats_report(stats: ScheduleStats) -> str:
+    """Counter / histogram / phase-timing tables for one instrumented run."""
+    parts: list[str] = []
+    counters = stats.metrics.get("counters", {})
+    gauges = stats.metrics.get("gauges", {})
+    scalar_rows = [(name, f"{counters[name]:g}") for name in sorted(counters)]
+    scalar_rows += [(name, f"{gauges[name]:g}") for name in sorted(gauges)]
+    if scalar_rows:
+        parts.append(format_table(["counter", "value"], scalar_rows))
+    histograms = stats.metrics.get("histograms", {})
+    if histograms:
+        parts.append(
+            format_table(
+                ["histogram", "count", "mean", "min", "max"],
+                [
+                    (
+                        name,
+                        f"{h['count']:g}",
+                        f"{h['sum'] / h['count']:g}" if h["count"] else "-",
+                        f"{h['min']:g}",
+                        f"{h['max']:g}",
+                    )
+                    for name, h in sorted(histograms.items())
+                ],
+            )
+        )
+    if stats.timings:
+        parts.append(
+            format_table(
+                ["phase", "time (ms)", "calls"],
+                [
+                    (phase, f"{rec['total'] * 1e3:.3f}", f"{int(rec['count'])}")
+                    for phase, rec in sorted(stats.timings.items())
+                ],
+            )
+        )
+    if stats.events:
+        kinds = sorted({e.kind for e in stats.events})
+        parts.append(
+            format_table(
+                ["event", "emitted"],
+                [(k, str(len(stats.events_of(k)))) for k in kinds],
+            )
+        )
+    return "\n\n".join(parts) if parts else "(nothing recorded)"
 
 
 def comparison_report(schedules: list[Schedule]) -> str:

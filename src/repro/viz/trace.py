@@ -2,8 +2,16 @@
 
 Emits the schedule as a JSON trace: processors are "processes" with tasks as
 complete events; each used link is a process with communication slots (or
-bandwidth segments) as events.  Load the file in Perfetto or
+bandwidth segments) as events.  Metadata events pin the ordering — processors
+sort first (by vertex id), links below them (by link id) — instead of
+Perfetto's default pid interleaving.  Load the file in Perfetto or
 ``chrome://tracing`` to scrub through the schedule interactively.
+
+When the schedule carries an observability capture (``schedule.stats`` from
+an :mod:`repro.obs`-enabled run), timestamped decision events — slot
+deferrals, rejected insertion probes, task placements — are rendered as
+instant events on the lane they refer to, so the *why* of the schedule shows
+up alongside the Gantt.
 """
 
 from __future__ import annotations
@@ -12,24 +20,55 @@ import json
 
 from repro.core.schedule import Schedule
 
+#: Link "processes" start here so they never collide with processor vids.
+LINK_PID_BASE = 10_000
+
+
+def _link_meta(events: list[dict], pid: int, name: str) -> None:
+    """Name a link process and sort it below every processor lane."""
+    events.append(
+        {"name": "process_name", "ph": "M", "pid": pid,
+         "args": {"name": f"link {name}"}}
+    )
+    events.append(
+        {"name": "process_sort_index", "ph": "M", "pid": pid,
+         "args": {"sort_index": pid}}
+    )
+    events.append(
+        {"name": "thread_name", "ph": "M", "pid": pid, "tid": 0,
+         "args": {"name": "transfer"}}
+    )
+
 
 def schedule_to_trace(schedule: Schedule, *, time_unit: float = 1.0) -> str:
     """Serialize as Trace Event Format JSON.
 
     ``time_unit`` scales schedule time units into microseconds (trace
     timestamps are integers in us; the default treats one schedule time unit
-    as one microsecond).
+    as one microsecond).  Zero-length slots are clamped to 1us — for tasks
+    *and* link slots — so they don't vanish in Perfetto.
     """
     events: list[dict] = []
 
     def us(t: float) -> int:
         return int(round(t * time_unit))
 
+    def dur(start: float, finish: float) -> int:
+        return max(1, us(finish) - us(start))
+
     for vid in sorted(p.vid for p in schedule.net.processors()):
         name = schedule.net.vertex(vid).name or f"P{vid}"
         events.append(
             {"name": "process_name", "ph": "M", "pid": vid,
              "args": {"name": f"processor {name}"}}
+        )
+        events.append(
+            {"name": "process_sort_index", "ph": "M", "pid": vid,
+             "args": {"sort_index": vid}}
+        )
+        events.append(
+            {"name": "thread_name", "ph": "M", "pid": vid, "tid": 0,
+             "args": {"name": "exec"}}
         )
     for pl in schedule.placements.values():
         events.append(
@@ -39,20 +78,15 @@ def schedule_to_trace(schedule: Schedule, *, time_unit: float = 1.0) -> str:
                 "pid": pl.processor,
                 "tid": 0,
                 "ts": us(pl.start),
-                "dur": max(1, us(pl.finish) - us(pl.start)),
+                "dur": dur(pl.start, pl.finish),
                 "args": {"task": pl.task},
             }
         )
 
-    link_pid_base = 10_000
     if schedule.link_state is not None:
         for lid in sorted(schedule.link_state.used_links()):
-            pid = link_pid_base + lid
-            name = schedule.net.link(lid).name or f"L{lid}"
-            events.append(
-                {"name": "process_name", "ph": "M", "pid": pid,
-                 "args": {"name": f"link {name}"}}
-            )
+            pid = LINK_PID_BASE + lid
+            _link_meta(events, pid, schedule.net.link(lid).name or f"L{lid}")
             for slot in schedule.link_state.slots(lid):
                 events.append(
                     {
@@ -61,7 +95,7 @@ def schedule_to_trace(schedule: Schedule, *, time_unit: float = 1.0) -> str:
                         "pid": pid,
                         "tid": 0,
                         "ts": us(slot.start),
-                        "dur": max(1, us(slot.finish) - us(slot.start)),
+                        "dur": dur(slot.start, slot.finish),
                         "args": {"edge": list(slot.edge)},
                     }
                 )
@@ -70,12 +104,8 @@ def schedule_to_trace(schedule: Schedule, *, time_unit: float = 1.0) -> str:
             {lid for r in schedule.bandwidth_state.routes().values() for lid in r}
         )
         for lid in lids:
-            pid = link_pid_base + lid
-            name = schedule.net.link(lid).name or f"L{lid}"
-            events.append(
-                {"name": "process_name", "ph": "M", "pid": pid,
-                 "args": {"name": f"link {name}"}}
-            )
+            pid = LINK_PID_BASE + lid
+            _link_meta(events, pid, schedule.net.link(lid).name or f"L{lid}")
             # Counter events showing instantaneous used bandwidth.
             profile = schedule.bandwidth_state.profile(lid)
             for t0, t1, used in profile.segments:
@@ -88,4 +118,33 @@ def schedule_to_trace(schedule: Schedule, *, time_unit: float = 1.0) -> str:
                      "ts": us(t1), "args": {"fraction": 0.0}}
                 )
 
+    if schedule.stats is not None:
+        events.extend(_instant_events(schedule, us))
+
     return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, indent=1)
+
+
+def _instant_events(schedule: Schedule, us) -> list[dict]:
+    """Timestamped decision events as Perfetto instants on their lane."""
+    out: list[dict] = []
+    for ev in schedule.stats.events:
+        if ev.t is None:
+            continue
+        if "lid" in ev.data:
+            pid = LINK_PID_BASE + ev.data["lid"]
+        elif "proc" in ev.data:
+            pid = ev.data["proc"]
+        else:
+            continue
+        out.append(
+            {
+                "name": ev.kind,
+                "ph": "i",
+                "s": "t",
+                "pid": pid,
+                "tid": 0,
+                "ts": us(ev.t),
+                "args": dict(ev.data),
+            }
+        )
+    return out

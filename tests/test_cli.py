@@ -51,6 +51,71 @@ class TestSchedule:
             assert main(["schedule", "--tasks", "8", "--algorithm", algo, "--no-gantt"]) == 0
 
 
+class TestScheduleStats:
+    def test_stats_prints_instrumentation(self, capsys):
+        assert (
+            main(
+                [
+                    "schedule", "--algorithm", "oihsa", "--tasks", "12",
+                    "--procs", "4", "--ccr", "2.0", "--stats", "--no-gantt",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "instrumentation:" in out
+        assert "insertion.probes" in out
+        assert "routing.relaxations" in out
+
+    def test_obs_left_disabled(self, capsys):
+        from repro import obs
+
+        main(["schedule", "--tasks", "8", "--procs", "4", "--stats", "--no-gantt"])
+        assert not obs.is_enabled()
+        obs.reset()
+
+    def test_trace_out_round_trips(self, tmp_path, capsys):
+        from repro.obs import EVENT_KINDS, read_jsonl
+
+        path = tmp_path / "events.jsonl"
+        assert (
+            main(
+                [
+                    "schedule", "--algorithm", "oihsa", "--tasks", "12",
+                    "--procs", "4", "--ccr", "2.0", "--no-gantt",
+                    "--trace-out", str(path),
+                ]
+            )
+            == 0
+        )
+        events = read_jsonl(str(path))
+        assert events
+        assert {e.kind for e in events} <= EVENT_KINDS
+        assert "wrote decision-event log" in capsys.readouterr().out
+
+
+class TestProfile:
+    def test_smoke_breakdown_table(self, capsys):
+        assert (
+            main(["profile", "--scale", "smoke", "--algorithms", "ba", "oihsa"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "routing" in out and "insertion" in out and "proc-select" in out
+        assert "ba" in out and "oihsa" in out
+
+    def test_unknown_algorithm_fails(self, capsys):
+        assert main(["profile", "--scale", "smoke", "--algorithms", "nope"]) == 2
+        assert "unknown algorithm" in capsys.readouterr().out
+
+    def test_obs_left_disabled(self, capsys):
+        from repro import obs
+
+        main(["profile", "--scale", "smoke", "--algorithms", "classic"])
+        assert not obs.is_enabled()
+        obs.reset()
+
+
 class TestAblation:
     def test_named(self, capsys):
         assert main(["ablation", "edge_order", "--procs", "4"]) == 0

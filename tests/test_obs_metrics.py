@@ -1,0 +1,161 @@
+"""Tests for the metrics registry (snapshot/diff arithmetic, rendering) and
+the phase profiler."""
+
+import json
+import math
+
+import pytest
+
+from repro import obs
+from repro.obs.metrics import MetricsRegistry, diff_snapshots
+from repro.obs.profile import PhaseProfiler, diff_timings, span
+
+
+@pytest.fixture(autouse=True)
+def clean_obs():
+    obs.disable()
+    obs.reset()
+    yield
+    obs.disable()
+    obs.reset()
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("insertion.probes")
+        c.inc()
+        c.inc(3)
+        assert reg.counter("insertion.probes").value == 4
+
+    def test_instruments_are_memoized(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("b") is reg.gauge("b")
+        assert reg.histogram("c") is reg.histogram("c")
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("schedule.makespan")
+        g.set(10.0)
+        g.set(7.5)
+        assert g.value == 7.5
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("routing.route_length")
+        for v in (2.0, 3.0, 7.0):
+            h.observe(v)
+        assert h.count == 3
+        assert h.total == 12.0
+        assert h.min == 2.0
+        assert h.max == 7.0
+        assert h.mean == 4.0
+
+    def test_reset_drops_everything(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        reg.reset()
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class TestSnapshotDiff:
+    def test_counter_delta(self):
+        reg = MetricsRegistry()
+        reg.counter("probes").inc(5)
+        before = reg.snapshot()
+        reg.counter("probes").inc(3)
+        reg.counter("fresh").inc(2)
+        diff = diff_snapshots(before, reg.snapshot())
+        assert diff["counters"] == {"probes": 3, "fresh": 2}
+
+    def test_untouched_counters_are_omitted(self):
+        reg = MetricsRegistry()
+        reg.counter("idle").inc(4)
+        before = reg.snapshot()
+        diff = diff_snapshots(before, reg.snapshot())
+        assert diff["counters"] == {}
+
+    def test_gauges_keep_after_value_only_when_moved(self):
+        reg = MetricsRegistry()
+        reg.gauge("stale").set(1.0)
+        before = reg.snapshot()
+        reg.gauge("moved").set(4.0)
+        diff = diff_snapshots(before, reg.snapshot())
+        assert diff["gauges"] == {"moved": 4.0}
+
+    def test_histogram_diff_subtracts_count_and_sum(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("h")
+        h.observe(1.0)
+        before = reg.snapshot()
+        h.observe(5.0)
+        h.observe(2.0)
+        diff = diff_snapshots(before, reg.snapshot())
+        assert diff["histograms"]["h"]["count"] == 2
+        assert diff["histograms"]["h"]["sum"] == 7.0
+
+    def test_snapshot_is_detached(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        snap = reg.snapshot()
+        reg.counter("c").inc(10)
+        assert snap["counters"]["c"] == 1
+
+
+class TestRendering:
+    def test_text_lists_nonzero_instruments(self):
+        reg = MetricsRegistry()
+        reg.counter("optimal.deferrals").inc(2)
+        reg.histogram("optimal.deferral_amount").observe(1.5)
+        text = reg.to_text()
+        assert "optimal.deferrals = 2" in text
+        assert "optimal.deferral_amount" in text
+
+    def test_json_is_loadable_and_finite(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc()
+        reg.histogram("empty")  # min/max are +/-inf until observed
+        doc = json.loads(reg.to_json())
+        assert doc["counters"]["c"] == 1
+        assert doc["histograms"]["empty"]["min"] is None
+
+    def test_empty_registry_text(self):
+        assert MetricsRegistry().to_text() == "(no metrics recorded)"
+
+
+class TestProfiler:
+    def test_span_noop_while_disabled(self):
+        prof = obs.PROFILER
+        assert not prof.enabled
+        with span("routing"):
+            pass
+        assert prof.snapshot() == {}
+
+    def test_span_accumulates_when_enabled(self):
+        obs.enable(obs.NullSink())
+        with span("routing"):
+            math.sqrt(2.0)
+        with span("routing"):
+            pass
+        obs.disable()
+        snap = obs.PROFILER.snapshot()
+        assert snap["routing"]["count"] == 2
+        assert snap["routing"]["total"] >= 0.0
+
+    def test_diff_timings(self):
+        prof = PhaseProfiler()
+        prof.add("insertion", 0.5)
+        before = prof.snapshot()
+        prof.add("insertion", 0.25)
+        prof.add("routing", 1.0)
+        delta = diff_timings(before, prof.snapshot())
+        assert delta["insertion"]["count"] == 1
+        assert delta["insertion"]["total"] == pytest.approx(0.25)
+        assert delta["routing"]["count"] == 1
+        assert "task_placement" not in delta
+
+    def test_to_text(self):
+        prof = PhaseProfiler()
+        prof.add("routing", 0.001)
+        assert "routing" in prof.to_text()

@@ -9,7 +9,7 @@ from repro.core.ba import BAScheduler
 from repro.core.bbsa import BBSAScheduler
 from repro.core.classic import ClassicScheduler
 from repro.viz.svg import schedule_to_svg
-from repro.viz.trace import schedule_to_trace
+from repro.viz.trace import LINK_PID_BASE, schedule_to_trace
 
 
 @pytest.fixture
@@ -84,3 +84,107 @@ class TestTrace:
         for e in doc["traceEvents"]:
             if e.get("ph") == "X":
                 assert e["dur"] >= 1
+
+
+class TestTraceMetadata:
+    """Links must sort below processors instead of interleaving by pid."""
+
+    def test_sort_index_for_every_process(self, schedules):
+        doc = json.loads(schedule_to_trace(schedules["ba"]))
+        named = {
+            e["pid"]
+            for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "process_name"
+        }
+        sort_index = {
+            e["pid"]: e["args"]["sort_index"]
+            for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "process_sort_index"
+        }
+        assert set(sort_index) == named
+        proc_indices = [v for pid, v in sort_index.items() if pid < LINK_PID_BASE]
+        link_indices = [v for pid, v in sort_index.items() if pid >= LINK_PID_BASE]
+        assert link_indices and proc_indices
+        assert min(link_indices) > max(proc_indices)
+
+    def test_bandwidth_links_also_sorted(self, schedules):
+        doc = json.loads(schedule_to_trace(schedules["bbsa"]))
+        link_sorts = [
+            e
+            for e in doc["traceEvents"]
+            if e.get("ph") == "M"
+            and e["name"] == "process_sort_index"
+            and e["pid"] >= LINK_PID_BASE
+        ]
+        assert link_sorts
+
+    def test_thread_names(self, schedules):
+        doc = json.loads(schedule_to_trace(schedules["ba"]))
+        names = {
+            (e["pid"] >= LINK_PID_BASE, e["args"]["name"])
+            for e in doc["traceEvents"]
+            if e.get("ph") == "M" and e["name"] == "thread_name"
+        }
+        assert (False, "exec") in names
+        assert (True, "transfer") in names
+
+
+class TestZeroLengthSlots:
+    """Regression: sub-microsecond slots must not vanish in Perfetto."""
+
+    @pytest.fixture
+    def tiny_schedule(self, diamond4, net4):
+        from repro.core.schedule import Schedule
+        from repro.linksched.slots import TimeSlot
+        from repro.linksched.state import LinkScheduleState
+        from repro.procsched.state import TaskPlacement
+
+        proc = net4.processors()[0].vid
+        lid = next(net4.links()).lid
+        state = LinkScheduleState()
+        state.record_route((0, 1), (lid,))
+        # 0.2 time units: rounds to the same microsecond at both ends.
+        state.insert(lid, 0, TimeSlot((0, 1), 1.0, 1.2))
+        return Schedule(
+            algorithm="test",
+            graph=diamond4,
+            net=net4,
+            placements={0: TaskPlacement(0, proc, 1.0, 1.2)},
+            link_state=state,
+        )
+
+    def test_task_and_link_slots_clamped(self, tiny_schedule):
+        doc = json.loads(schedule_to_trace(tiny_schedule))
+        xs = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+        task_events = [e for e in xs if e["pid"] < LINK_PID_BASE]
+        link_events = [e for e in xs if e["pid"] >= LINK_PID_BASE]
+        assert task_events and link_events
+        for e in xs:
+            assert e["dur"] >= 1
+
+
+class TestTraceInstants:
+    def test_decision_events_rendered_when_instrumented(self, fork8, wan16):
+        from repro import obs
+        from repro.core.oihsa import OIHSAScheduler
+        from repro.taskgraph.ccr import scale_to_ccr
+
+        graph = scale_to_ccr(fork8, 8.0)
+        obs.enable()
+        try:
+            schedule = OIHSAScheduler().schedule(graph, wan16)
+        finally:
+            obs.disable()
+            obs.reset()
+        doc = json.loads(schedule_to_trace(schedule))
+        instants = [e for e in doc["traceEvents"] if e.get("ph") == "i"]
+        assert instants
+        assert {e["name"] for e in instants} <= {
+            "slot_deferred",
+            "probe_rejected",
+            "task_placed",
+            "route_probed",
+        }
+        for e in instants:
+            assert e["s"] == "t"
+            assert isinstance(e["ts"], int)

@@ -1,0 +1,74 @@
+"""Sweep throughput: serial vs process-pool fan-out, cold vs warm cache.
+
+Times a full ``improvement_series`` CCR sweep four ways — serial, parallel
+(``jobs=N``), cache-cold, cache-warm — asserts all four outputs are
+identical (the determinism contract), and writes the measurements to
+``BENCH_parallel_sweep.json`` in the working directory.  The cache-warm
+rerun must be at least 5x faster than the cold run: replaying a sweep from
+cache is pure JSON reads, so a warm figure regeneration is effectively free.
+
+Scale via ``REPRO_BENCH_SCALE`` (smoke/default/paper) like the figure
+benchmarks; jobs via ``REPRO_BENCH_JOBS`` (default: up to 4 workers).
+"""
+
+import json
+import os
+from pathlib import Path
+from time import perf_counter
+
+from repro.experiments import ExperimentConfig, ResultCache, improvement_series
+
+SCALE = os.environ.get("REPRO_BENCH_SCALE", "smoke")
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", min(4, os.cpu_count() or 1)))
+
+
+def _config() -> ExperimentConfig:
+    if SCALE == "paper":
+        return ExperimentConfig.paper_scale()
+    if SCALE == "default":
+        return ExperimentConfig.default()
+    return ExperimentConfig.smoke()
+
+
+def _timed(**kwargs):
+    t0 = perf_counter()
+    series = improvement_series(_config(), sweep="ccr", **kwargs)
+    return series, perf_counter() - t0
+
+
+def test_parallel_sweep_and_cache_speedup(tmp_path):
+    serial, serial_s = _timed()
+    parallel, parallel_s = _timed(jobs=JOBS)
+    assert parallel == serial, "jobs=N must be bit-identical to serial"
+
+    cache_dir = tmp_path / "cache"
+    cold_cache = ResultCache(cache_dir)
+    cold, cold_s = _timed(cache=cold_cache)
+    warm_cache = ResultCache(cache_dir)
+    warm, warm_s = _timed(cache=warm_cache)
+    assert cold == serial and warm == serial
+    assert warm_cache.stats.misses == 0 and warm_cache.stats.hits > 0
+
+    warm_speedup = cold_s / warm_s if warm_s > 0 else float("inf")
+    doc = {
+        "scale": SCALE,
+        "jobs": JOBS,
+        "serial_s": serial_s,
+        "parallel_s": parallel_s,
+        "parallel_speedup": serial_s / parallel_s if parallel_s > 0 else None,
+        "cache_cold_s": cold_s,
+        "cache_warm_s": warm_s,
+        "warm_speedup": None if warm_speedup == float("inf") else warm_speedup,
+        "cache_records": cold_cache.stats.writes,
+        "outputs_identical": True,
+    }
+    out = Path("BENCH_parallel_sweep.json")
+    out.write_text(json.dumps(doc, indent=1, sort_keys=True))
+    print(
+        f"\nserial {serial_s:.2f}s | jobs={JOBS} {parallel_s:.2f}s | "
+        f"cache cold {cold_s:.2f}s -> warm {warm_s:.3f}s "
+        f"({warm_speedup:.0f}x); wrote {out.resolve()}"
+    )
+    assert warm_speedup >= 5.0, (
+        f"cache-warm rerun only {warm_speedup:.1f}x faster than cold"
+    )

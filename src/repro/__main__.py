@@ -2,7 +2,9 @@
 
 Commands:
 
-- ``figures``  — regenerate the paper's figures (choose scale / subset),
+- ``figures``  — regenerate the paper's figures (choose scale / subset;
+  ``--jobs N`` fans the sweep over a process pool with identical output,
+  ``--cache-dir`` / ``--no-cache`` control the on-disk result cache),
 - ``schedule`` — schedule a generated workload and print report + Gantt
   (``--stats`` adds decision counters and phase timings, ``--trace-out``
   streams the decision-event log as JSONL),
@@ -22,8 +24,16 @@ from repro import __version__
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
-    from repro.experiments import ALL_FIGURES, ExperimentConfig
+    from repro.experiments import ALL_FIGURES, ExperimentConfig, ResultCache
+    from repro.experiments.cache import default_cache_dir
 
+    if args.jobs < 1:
+        print(f"--jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir if args.cache_dir else default_cache_dir()
+        cache = ResultCache(cache_dir)
     names = [args.only] if args.only else sorted(ALL_FIGURES)
     for name in names:
         hetero = name in ("figure3", "figure4")
@@ -33,8 +43,12 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             config = ExperimentConfig.smoke(heterogeneous=hetero)
         else:
             config = ExperimentConfig.default(heterogeneous=hetero)
-        print(ALL_FIGURES[name](config).to_text(plot=args.plot))
+        fig = ALL_FIGURES[name](config, jobs=args.jobs, cache=cache)
+        print(fig.to_text(plot=args.plot))
         print()
+    if cache is not None:
+        # Stderr so stdout stays byte-identical between cold and warm runs.
+        print(f"[cache] {cache.root}: {cache.stats.to_text()}", file=sys.stderr)
     return 0
 
 
@@ -195,6 +209,19 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--scale", choices=("smoke", "default", "paper"), default="default")
     p.add_argument("--only", choices=("figure1", "figure2", "figure3", "figure4"))
     p.add_argument("--plot", action="store_true", help="append ASCII plots")
+    p.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (output is identical for any N)",
+    )
+    p.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
+    )
+    p.add_argument(
+        "--cache-dir", default=None, metavar="DIR",
+        help="result cache location (default: $REPRO_CACHE_DIR or "
+        "~/.cache/repro/experiments)",
+    )
     p.set_defaults(fn=_cmd_figures)
 
     from repro.core import SCHEDULERS

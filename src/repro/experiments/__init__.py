@@ -4,6 +4,10 @@
 - :mod:`repro.experiments.workloads` — the paper's workload generator,
 - :mod:`repro.experiments.runner` — run algorithm comparisons, aggregate
   improvement ratios,
+- :mod:`repro.experiments.parallel` — deterministic process-pool fan-out of
+  sweep work units (``improvement_series(..., jobs=N)``),
+- :mod:`repro.experiments.cache` — on-disk per-(instance, algorithm) result
+  cache keyed by config fingerprint + instance seed,
 - :mod:`repro.experiments.figures` — one entry point per paper figure,
 - :mod:`repro.experiments.ablations` — design-choice ablations.
 """
@@ -14,6 +18,23 @@ from repro.experiments.runner import (
     ComparisonResult,
     compare_once,
     improvement_series,
+)
+from repro.experiments.cache import (
+    CacheStats,
+    ResultCache,
+    comparison_from_json,
+    comparison_to_json,
+    config_fingerprint,
+    default_cache_dir,
+    unit_key,
+)
+from repro.experiments.parallel import (
+    SweepUnit,
+    UnitResult,
+    execute_units,
+    merge_unit_results,
+    plan_sweep,
+    run_unit,
 )
 from repro.experiments.stats import (
     PairedSummary,
@@ -39,6 +60,19 @@ __all__ = [
     "ComparisonResult",
     "compare_once",
     "improvement_series",
+    "CacheStats",
+    "ResultCache",
+    "comparison_from_json",
+    "comparison_to_json",
+    "config_fingerprint",
+    "default_cache_dir",
+    "unit_key",
+    "SweepUnit",
+    "UnitResult",
+    "execute_units",
+    "merge_unit_results",
+    "plan_sweep",
+    "run_unit",
     "PairedSummary",
     "paired_summary",
     "bootstrap_ci",

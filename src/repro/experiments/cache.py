@@ -1,0 +1,238 @@
+"""On-disk result cache for experiment sweeps.
+
+A Section 6 sweep schedules hundreds of independent ``(instance, algorithm)``
+pairs, and regenerating a figure — or rerunning a sweep with one extra
+algorithm — repeats work whose outcome is a pure function of the experiment
+parameters.  This module caches those outcomes on disk so repeated sweeps and
+figure regeneration skip already-scheduled instances.
+
+Keying
+------
+
+Every cached record is addressed by a SHA-256 over
+
+- a **config fingerprint**: every :class:`~repro.experiments.config.ExperimentConfig`
+  field (so *any* perturbation — seed, density, CCR grid, algorithm order —
+  invalidates the cache), the library version, and a cache schema number
+  (bumped whenever record semantics change), plus
+- the **instance seed**: the ``(entropy, spawn_key)`` of the ``SeedSequence``
+  spawned for the repetition, which identifies the workload instance exactly,
+- the swept ``(ccr, n_procs)`` point and the **algorithm** name.
+
+Records are small JSON documents, ``{"makespan": float, "counters": {...}}``,
+sharded two hex characters deep (``<root>/ab/<key>.json``).  Python's JSON
+codec round-trips finite floats exactly (``repr`` shortest form), so replaying
+a sweep from cache is bit-for-bit identical to recomputing it — the
+equivalence tests assert this.
+
+Invalidation is purely key-based: nothing is ever rewritten in place, stale
+records are simply never addressed again.  ``python -m repro figures`` exposes
+``--cache-dir`` / ``--no-cache``; the default location honours
+``$REPRO_CACHE_DIR`` and falls back to ``~/.cache/repro/experiments``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any
+
+from repro import __version__
+from repro.exceptions import ReproError
+from repro.obs import ScheduleStats
+
+#: Bump when the cached record layout or semantics change: a bump orphans
+#: every existing record (keys stop matching) without touching files.
+CACHE_SCHEMA = 1
+
+
+def _jsonable(value: Any) -> Any:
+    """Dataclass-field value -> deterministic JSON-encodable form."""
+    if isinstance(value, tuple):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in value.items()}
+    return value
+
+
+def _digest(doc: dict) -> str:
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def config_fingerprint(config) -> str:
+    """Stable hash of every ``ExperimentConfig`` field plus code version.
+
+    Field *order and values* both count: reordering ``algorithms`` or
+    ``ccrs`` produces a different fingerprint, because sweep output depends
+    on iteration order (seed spawning follows the grid order).
+    """
+    doc = {
+        "schema": CACHE_SCHEMA,
+        "version": __version__,
+        "config": _jsonable(asdict(config)),
+    }
+    return _digest(doc)
+
+
+def unit_key(
+    fingerprint: str,
+    ccr: float,
+    n_procs: int,
+    seed_key: tuple,
+    algorithm: str,
+) -> str:
+    """Cache key of one ``(instance, algorithm)`` outcome.
+
+    ``seed_key`` is ``(entropy, spawn_key)`` of the instance's spawned
+    ``SeedSequence`` — the exact identity of the generated workload.
+    """
+    doc = {
+        "fp": fingerprint,
+        "ccr": float(ccr),
+        "procs": int(n_procs),
+        "seed": _jsonable(seed_key),
+        "algorithm": algorithm,
+    }
+    return _digest(doc)
+
+
+def default_cache_dir() -> Path:
+    """``$REPRO_CACHE_DIR`` if set, else ``~/.cache/repro/experiments``."""
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path.home() / ".cache" / "repro" / "experiments"
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/write accounting for one :class:`ResultCache` lifetime."""
+
+    hits: int = 0
+    misses: int = 0
+    writes: int = 0
+
+    def to_text(self) -> str:
+        return f"{self.hits} hits, {self.misses} misses, {self.writes} writes"
+
+
+@dataclass
+class ResultCache:
+    """Content-addressed JSON store of per-(instance, algorithm) outcomes.
+
+    Writes are atomic (temp file + rename) so a crashed or parallel sweep
+    never leaves a truncated record; concurrent writers of the same key are
+    idempotent because the payload is a pure function of the key.
+    """
+
+    root: Path
+    stats: CacheStats = field(default_factory=CacheStats)
+
+    def __post_init__(self) -> None:
+        self.root = Path(self.root).expanduser()
+
+    def _path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The cached record for ``key``, or ``None`` on miss/corruption."""
+        path = self._path(key)
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return record
+
+    def put(self, key: str, record: dict) -> None:
+        """Atomically persist ``record`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(record, fh, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.writes += 1
+
+
+def as_cache(cache) -> ResultCache | None:
+    """Normalize a cache argument: ``None`` | path-like | ``ResultCache``."""
+    if cache is None or isinstance(cache, ResultCache):
+        return cache
+    if isinstance(cache, (str, Path)):
+        return ResultCache(Path(cache))
+    raise ReproError(f"cache must be None, a directory path or a ResultCache, got {cache!r}")
+
+
+# -- ComparisonResult serialization -------------------------------------------
+#
+# The cache stores per-algorithm records, but a full ComparisonResult (all
+# algorithms of one instance, with observability captures) also round-trips,
+# so cached sweeps can be mined for per-instance analysis.  The workload
+# itself is *not* embedded — it is regenerable from the instance seed — only
+# its identifying descriptor is kept.
+
+
+def comparison_to_doc(result) -> dict:
+    """JSON-ready form of a :class:`~repro.experiments.runner.ComparisonResult`.
+
+    Lossless in ``makespans`` and ``stats`` (counters, timings, events);
+    the instance is summarized by its descriptor, not embedded.
+    """
+    instance = result.instance
+    doc: dict = {
+        "instance": {
+            "ccr": instance.ccr,
+            "n_procs": instance.n_procs,
+            "heterogeneous": instance.heterogeneous,
+        }
+        if instance is not None
+        else None,
+        "makespans": dict(result.makespans),
+        "stats": (
+            {name: stats.to_dict() for name, stats in result.stats.items()}
+            if result.stats is not None
+            else None
+        ),
+    }
+    return doc
+
+
+def comparison_from_doc(doc: dict, instance=None):
+    """Rebuild a ``ComparisonResult`` serialized by :func:`comparison_to_doc`.
+
+    ``instance`` (regenerated from the unit seed, or ``None``) is attached
+    as-is; makespans and stats come back exactly as stored.
+    """
+    from repro.experiments.runner import ComparisonResult
+
+    stats_doc = doc.get("stats")
+    stats = (
+        {name: ScheduleStats.from_dict(d) for name, d in stats_doc.items()}
+        if stats_doc is not None
+        else None
+    )
+    return ComparisonResult(
+        instance=instance, makespans=dict(doc["makespans"]), stats=stats
+    )
+
+
+def comparison_to_json(result) -> str:
+    return json.dumps(comparison_to_doc(result), sort_keys=True)
+
+
+def comparison_from_json(payload: str, instance=None):
+    return comparison_from_doc(json.loads(payload), instance=instance)

@@ -128,6 +128,8 @@ def _figure(
     heterogeneous: bool,
     reference: dict[str, list[float]],
     config: ExperimentConfig | None,
+    jobs: int = 1,
+    cache=None,
 ) -> FigureResult:
     if config is None:
         config = ExperimentConfig.default(heterogeneous=heterogeneous)
@@ -135,7 +137,7 @@ def _figure(
         raise ReproError(
             f"{figure_id} needs heterogeneous={heterogeneous}, config says otherwise"
         )
-    series = improvement_series(config, sweep=sweep)
+    series = improvement_series(config, sweep=sweep, jobs=jobs, cache=cache)
     x_values = series.pop("_x")
     paper_x = PAPER_CCRS if sweep == "ccr" else tuple(float(p) for p in PAPER_PROC_COUNTS)
     result = FigureResult(
@@ -150,7 +152,9 @@ def _figure(
     return result
 
 
-def figure1(config: ExperimentConfig | None = None) -> FigureResult:
+def figure1(
+    config: ExperimentConfig | None = None, *, jobs: int = 1, cache=None
+) -> FigureResult:
     """Homogeneous systems: % improvement over BA vs CCR (paper Figure 1)."""
     return _figure(
         "figure1",
@@ -159,10 +163,14 @@ def figure1(config: ExperimentConfig | None = None) -> FigureResult:
         False,
         PAPER_FIGURE1,
         config,
+        jobs=jobs,
+        cache=cache,
     )
 
 
-def figure2(config: ExperimentConfig | None = None) -> FigureResult:
+def figure2(
+    config: ExperimentConfig | None = None, *, jobs: int = 1, cache=None
+) -> FigureResult:
     """Homogeneous systems: % improvement over BA vs #processors (Figure 2)."""
     return _figure(
         "figure2",
@@ -171,10 +179,14 @@ def figure2(config: ExperimentConfig | None = None) -> FigureResult:
         False,
         PAPER_FIGURE2,
         config,
+        jobs=jobs,
+        cache=cache,
     )
 
 
-def figure3(config: ExperimentConfig | None = None) -> FigureResult:
+def figure3(
+    config: ExperimentConfig | None = None, *, jobs: int = 1, cache=None
+) -> FigureResult:
     """Heterogeneous systems: % improvement over BA vs CCR (Figure 3)."""
     return _figure(
         "figure3",
@@ -183,10 +195,14 @@ def figure3(config: ExperimentConfig | None = None) -> FigureResult:
         True,
         PAPER_FIGURE3,
         config,
+        jobs=jobs,
+        cache=cache,
     )
 
 
-def figure4(config: ExperimentConfig | None = None) -> FigureResult:
+def figure4(
+    config: ExperimentConfig | None = None, *, jobs: int = 1, cache=None
+) -> FigureResult:
     """Heterogeneous systems: % improvement over BA vs #processors (Figure 4)."""
     return _figure(
         "figure4",
@@ -195,6 +211,8 @@ def figure4(config: ExperimentConfig | None = None) -> FigureResult:
         True,
         PAPER_FIGURE4,
         config,
+        jobs=jobs,
+        cache=cache,
     )
 
 

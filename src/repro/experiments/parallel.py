@@ -1,0 +1,374 @@
+"""Deterministic parallel fan-out for experiment sweeps.
+
+The paper's Section 6 sweeps (CCR x processor count x repetitions) are
+embarrassingly parallel: every repetition is an independent ``(instance,
+algorithms)`` work unit.  This module flattens a sweep into those units,
+executes them — in process for ``jobs=1``, on a ``ProcessPoolExecutor``
+otherwise — and merges the results in the serial order, so
+``improvement_series(..., jobs=N)`` returns **exactly** what the serial path
+returns for any ``N``.
+
+The determinism contract (asserted by ``tests/test_parallel_equivalence.py``):
+
+1. **Seeds are spawned up front** from the master RNG at plan time, in the
+   serial iteration order (sweep point -> inner grid -> repetition).  Workers
+   never touch the master RNG, so the instance stream cannot depend on
+   worker count or completion order.  ``SeedSequence.spawn`` increments a
+   counter on the parent sequence; batched spawning is therefore identical
+   to the serial path's incremental spawning.
+2. **Workers are pure**: a unit's outcome is a function of ``(config, unit
+   seed, algorithms)`` only.  Float results are identical across processes
+   because the same code runs the same IEEE-754 operations on the same
+   inputs.
+3. **Merging is order-fixed**: results are reassembled by unit index, and all
+   aggregation (means, SEMs, counter averaging) consumes them in that order,
+   so float summation order matches the serial path bit for bit.
+
+Observability crosses the process boundary as plain data: each worker runs
+its units with :mod:`repro.obs` enabled (``NullSink`` — counters and
+timings, no event transport), extracts every ``ScheduleStats`` counter
+capture via ``to_dict()``-style dicts, and the parent merges them into the
+same ``"<algorithm>:<counter>"`` series the serial path emits.
+
+When a :class:`~repro.experiments.cache.ResultCache` is supplied, cache
+lookups happen in the parent before any fan-out; only the missing
+``(instance, algorithm)`` pairs are scheduled, and fresh outcomes are
+written back for the next sweep.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import ReproError
+from repro.experiments.cache import ResultCache, config_fingerprint, unit_key
+from repro.experiments.config import ExperimentConfig
+from repro.utils.rng import as_rng
+
+
+@dataclass(frozen=True)
+class SweepUnit:
+    """One independent repetition of the sweep: a workload seed at a grid cell."""
+
+    index: int
+    #: position along the swept axis (the figure's x grid)
+    point_idx: int
+    #: the swept value itself (CCR or processor count, as float)
+    x: float
+    ccr: float
+    n_procs: int
+    #: repetition number within the grid cell
+    rep: int
+    #: pre-spawned seed of this instance (workers build their RNG from it)
+    seed_seq: np.random.SeedSequence
+
+    @property
+    def seed_key(self) -> tuple:
+        """Stable cache identity of the instance seed."""
+        return (self.seed_seq.entropy, tuple(self.seed_seq.spawn_key))
+
+
+@dataclass(frozen=True)
+class UnitResult:
+    """Outcome of one unit: per-algorithm makespans and counter captures.
+
+    ``counters`` is ``{algorithm: {counter_name: value}}`` when observability
+    captures were taken (``with_metrics``), ``None`` otherwise — mirroring
+    ``ComparisonResult.stats`` being ``None`` when obs is off.
+    """
+
+    index: int
+    point_idx: int
+    makespans: dict[str, float]
+    counters: dict[str, dict[str, float]] | None = None
+    cached: bool = False
+
+
+def plan_sweep(
+    config: ExperimentConfig, sweep: str
+) -> tuple[list[float], list[SweepUnit]]:
+    """Flatten a sweep into work units, spawning every instance seed up front.
+
+    Returns ``(x_values, units)`` with units in the exact serial iteration
+    order; ``unit.index`` is the position in that order.  Planning twice with
+    the same config yields identical seeds (``SeedSequence`` spawning is a
+    pure function of the master seed and spawn count).
+    """
+    if sweep not in ("ccr", "procs"):
+        raise ReproError(f"sweep must be 'ccr' or 'procs', got {sweep!r}")
+    master = as_rng(config.seed)
+    x_values = config.ccrs if sweep == "ccr" else config.proc_counts
+    units: list[SweepUnit] = []
+    index = 0
+    for point_idx, x in enumerate(x_values):
+        inner = config.ccrs if sweep == "procs" else config.proc_counts
+        for y in inner:
+            ccr = x if sweep == "ccr" else float(y)
+            n_procs = int(y) if sweep == "ccr" else int(x)
+            seeds = master.bit_generator.seed_seq.spawn(config.repetitions)
+            for rep, seed_seq in enumerate(seeds):
+                units.append(
+                    SweepUnit(
+                        index=index,
+                        point_idx=point_idx,
+                        x=float(x),
+                        ccr=ccr,
+                        n_procs=n_procs,
+                        rep=rep,
+                        seed_seq=seed_seq,
+                    )
+                )
+                index += 1
+    return [float(x) for x in x_values], units
+
+
+def run_unit(
+    config: ExperimentConfig,
+    unit: SweepUnit,
+    algorithms: tuple[str, ...],
+    *,
+    validate: bool = False,
+    with_metrics: bool = False,
+) -> UnitResult:
+    """Execute one unit: regenerate its instance and schedule ``algorithms``.
+
+    Pure with respect to the unit seed — safe to run in any process, in any
+    order.  ``algorithms`` may be a subset of ``config.algorithms`` when the
+    rest of the unit was served from cache.
+    """
+    from repro import obs
+    from repro.experiments.runner import compare_once
+    from repro.experiments.workloads import paper_workload
+
+    enabled_here = False
+    if with_metrics and not obs.is_enabled():
+        # Fresh worker process (spawn start method, or first unit): turn on
+        # counter/timing capture without event transport.
+        obs.enable(obs.NullSink())
+        enabled_here = True
+    try:
+        rng = np.random.default_rng(unit.seed_seq)
+        instance = paper_workload(config, unit.ccr, unit.n_procs, rng)
+        result = compare_once(instance, tuple(algorithms), validate=validate)
+    finally:
+        if enabled_here:
+            obs.disable()
+    counters: dict[str, dict[str, float]] | None = None
+    if result.stats:
+        counters = {
+            name: dict(stats.metrics.get("counters", {}))
+            for name, stats in result.stats.items()
+        }
+    return UnitResult(
+        index=unit.index,
+        point_idx=unit.point_idx,
+        makespans=dict(result.makespans),
+        counters=counters,
+    )
+
+
+def _run_unit_star(args: tuple) -> UnitResult:
+    """Module-level trampoline so work units pickle into pool workers."""
+    config, unit, algorithms, validate, with_metrics = args
+    return run_unit(
+        config, unit, algorithms, validate=validate, with_metrics=with_metrics
+    )
+
+
+def execute_units(
+    config: ExperimentConfig,
+    units: list[SweepUnit],
+    *,
+    jobs: int = 1,
+    validate: bool = False,
+    with_metrics: bool = False,
+    cache: ResultCache | None = None,
+) -> list[UnitResult]:
+    """Run every unit — cache first, then serial or pooled — in unit order.
+
+    Cache lookups are per ``(instance, algorithm)``: a unit with some
+    algorithms cached schedules only the missing ones and merges.  A cached
+    record only satisfies a ``with_metrics`` request if it carries counters
+    (records written by a metrics-off sweep don't).
+    """
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    results: list[UnitResult | None] = [None] * len(units)
+    #: units still needing work: (unit, algorithms to schedule)
+    pending: list[tuple[SweepUnit, tuple[str, ...]]] = []
+    #: partially-cached makespans/counters to merge with fresh results
+    partial: dict[int, tuple[dict, dict]] = {}
+    fingerprint = config_fingerprint(config) if cache is not None else ""
+    for unit in units:
+        if cache is None:
+            pending.append((unit, config.algorithms))
+            continue
+        makespans: dict[str, float] = {}
+        counters: dict[str, dict[str, float]] = {}
+        missing: list[str] = []
+        for algorithm in config.algorithms:
+            key = unit_key(
+                fingerprint, unit.ccr, unit.n_procs, unit.seed_key, algorithm
+            )
+            record = cache.get(key)
+            if record is not None and with_metrics and record.get("counters") is None:
+                # Written by a metrics-off sweep: no counters to replay.
+                cache.stats.hits -= 1
+                cache.stats.misses += 1
+                record = None
+            if record is None:
+                missing.append(algorithm)
+                continue
+            makespans[algorithm] = record["makespan"]
+            if record.get("counters") is not None:
+                counters[algorithm] = record["counters"]
+        if missing:
+            pending.append((unit, tuple(missing)))
+            partial[unit.index] = (makespans, counters)
+        else:
+            results[unit.index] = UnitResult(
+                index=unit.index,
+                point_idx=unit.point_idx,
+                makespans=makespans,
+                counters=counters if with_metrics else (counters or None),
+                cached=True,
+            )
+    if pending:
+        if jobs == 1 or len(pending) == 1:
+            fresh = [
+                run_unit(
+                    config, unit, algorithms,
+                    validate=validate, with_metrics=with_metrics,
+                )
+                for unit, algorithms in pending
+            ]
+        else:
+            work = [
+                (config, unit, algorithms, validate, with_metrics)
+                for unit, algorithms in pending
+            ]
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending))
+            ) as pool:
+                fresh = list(pool.map(_run_unit_star, work))
+        for (unit, algorithms), res in zip(pending, fresh):
+            cached_makespans, cached_counters = partial.get(
+                unit.index, ({}, {})
+            )
+            makespans = dict(cached_makespans)
+            makespans.update(res.makespans)
+            counters: dict[str, dict[str, float]] | None
+            if res.counters is None and not cached_counters:
+                counters = None
+            else:
+                counters = dict(cached_counters)
+                counters.update(res.counters or {})
+            if cache is not None:
+                for algorithm in algorithms:
+                    key = unit_key(
+                        fingerprint,
+                        unit.ccr,
+                        unit.n_procs,
+                        unit.seed_key,
+                        algorithm,
+                    )
+                    cache.put(
+                        key,
+                        {
+                            "makespan": res.makespans[algorithm],
+                            "counters": (
+                                res.counters[algorithm]
+                                if res.counters is not None
+                                else None
+                            ),
+                        },
+                    )
+            results[unit.index] = UnitResult(
+                index=unit.index,
+                point_idx=unit.point_idx,
+                makespans=makespans,
+                counters=counters,
+            )
+    return [r for r in results if r is not None]
+
+
+def merge_unit_results(
+    config: ExperimentConfig,
+    x_values: list[float],
+    results: list[UnitResult],
+    *,
+    with_sem: bool = False,
+    with_metrics: bool = False,
+) -> dict[str, list[float]]:
+    """Aggregate unit results into the ``improvement_series`` output dict.
+
+    Consumes ``results`` grouped by sweep point in unit-index order, so every
+    float reduction (mean, SEM, counter sum) happens in exactly the order the
+    serial loop used.  Counter series are zero-padded symmetrically: a counter
+    first seen at a later point is back-filled with zeros, and a counter that
+    stops appearing is forward-filled, so every ``"<algorithm>:<counter>"``
+    series spans every sweep point regardless of where it was observed.
+    """
+    from repro.core.metrics import improvement_ratio
+
+    candidates = [a for a in config.algorithms if a != config.baseline]
+    series: dict[str, list[float]] = {name: [] for name in candidates}
+    sems: dict[str, list[float]] = {name: [] for name in candidates}
+    metric_series: dict[str, list[float]] = {}
+    by_point: dict[int, list[UnitResult]] = {}
+    for res in sorted(results, key=lambda r: r.index):
+        by_point.setdefault(res.point_idx, []).append(res)
+    for point_idx in range(len(x_values)):
+        point_results = by_point.get(point_idx, [])
+        if not point_results:
+            raise ReproError(f"sweep point {point_idx} has no results")
+        per_alg: dict[str, list[float]] = {name: [] for name in candidates}
+        point_counters: dict[str, list[float]] = {}
+        point_instances = 0
+        for res in point_results:
+            try:
+                base = res.makespans[config.baseline]
+            except KeyError:
+                raise ReproError(
+                    f"baseline {config.baseline!r} missing from unit {res.index}"
+                ) from None
+            for name in candidates:
+                per_alg[name].append(
+                    improvement_ratio(base, res.makespans[name])
+                )
+            if with_metrics and res.counters:
+                point_instances += 1
+                for name, counts in res.counters.items():
+                    for cname, value in counts.items():
+                        key = f"{name}:{cname}"
+                        point_counters.setdefault(key, []).append(value)
+        for name in candidates:
+            values = np.asarray(per_alg[name])
+            series[name].append(float(values.mean()))
+            sems[name].append(
+                float(values.std(ddof=1) / np.sqrt(len(values)))
+                if len(values) > 1
+                else 0.0
+            )
+        if with_metrics:
+            # A counter an algorithm never touched at this point means 0,
+            # not absent — pad both directions so every series spans every
+            # sweep point: back-fill series first seen here, forward-fill
+            # series that skipped this point.
+            for key, values in point_counters.items():
+                metric_series.setdefault(key, [0.0] * point_idx).append(
+                    sum(values) / max(1, point_instances)
+                )
+            for values in metric_series.values():
+                while len(values) < point_idx + 1:
+                    values.append(0.0)
+    out: dict[str, list[float]] = dict(series)
+    out["_x"] = list(x_values)
+    if with_sem:
+        for name in candidates:
+            out[f"{name}_sem"] = sems[name]
+    out.update(metric_series)
+    return out

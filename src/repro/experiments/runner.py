@@ -1,20 +1,24 @@
 """Comparison runner: schedule one workload with several algorithms and
-aggregate the paper's improvement-ratio metric across repetitions."""
+aggregate the paper's improvement-ratio metric across repetitions.
+
+``improvement_series`` is the sweep entry point; the heavy lifting —
+deterministic fan-out, per-instance result caching, order-fixed merging —
+lives in :mod:`repro.experiments.parallel` and
+:mod:`repro.experiments.cache`, shared by the serial (``jobs=1``) and
+process-pool (``jobs>1``) paths so they are bit-for-bit equivalent.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-
-import numpy as np
 
 from repro.core import SCHEDULERS
 from repro.core.metrics import improvement_ratio
 from repro.core.validate import validate_schedule
 from repro.exceptions import ReproError
 from repro.experiments.config import ExperimentConfig
-from repro.experiments.workloads import WorkloadInstance, paper_workload
+from repro.experiments.workloads import WorkloadInstance
 from repro.obs import OBS, ScheduleStats
-from repro.utils.rng import as_rng, spawn_rng
 
 
 @dataclass(frozen=True)
@@ -79,6 +83,8 @@ def improvement_series(
     validate: bool = False,
     with_sem: bool = False,
     with_metrics: bool = False,
+    jobs: int = 1,
+    cache=None,
 ) -> dict[str, list[float]]:
     """Mean improvement over the baseline along one swept axis.
 
@@ -97,72 +103,46 @@ def improvement_series(
     *why* behind an improvement curve (e.g. OIHSA deferring slots where BA
     queues) comes out of the same sweep.  Enables :mod:`repro.obs` for the
     duration when it isn't already on.
+
+    ``jobs`` fans the sweep's independent repetitions out over a process
+    pool; every instance seed is spawned up front from the master RNG and
+    results merge in serial order, so the output is **identical for any
+    jobs count** (see :mod:`repro.experiments.parallel` for the contract).
+    ``cache`` (a directory path or :class:`~repro.experiments.cache.ResultCache`)
+    persists per-(instance, algorithm) outcomes so repeated sweeps and
+    figure regeneration skip already-scheduled instances.
     """
-    if sweep not in ("ccr", "procs"):
-        raise ReproError(f"sweep must be 'ccr' or 'procs', got {sweep!r}")
-    master = as_rng(config.seed)
-    candidates = [a for a in config.algorithms if a != config.baseline]
-    x_values = config.ccrs if sweep == "ccr" else config.proc_counts
-    series: dict[str, list[float]] = {name: [] for name in candidates}
-    sems: dict[str, list[float]] = {name: [] for name in candidates}
-    metric_series: dict[str, list[float]] = {}
+    from repro.experiments.cache import as_cache
+    from repro.experiments.parallel import (
+        execute_units,
+        merge_unit_results,
+        plan_sweep,
+    )
+
+    x_values, units = plan_sweep(config, sweep)
     obs_was_on = OBS.on
     if with_metrics and not obs_was_on:
         from repro import obs as _obs
 
         _obs.enable(_obs.NullSink())
     try:
-        for point_idx, x in enumerate(x_values):
-            inner = config.ccrs if sweep == "procs" else config.proc_counts
-            per_alg: dict[str, list[float]] = {name: [] for name in candidates}
-            point_counters: dict[str, list[float]] = {}
-            point_instances = 0
-            for y in inner:
-                ccr = x if sweep == "ccr" else float(y)
-                n_procs = int(y) if sweep == "ccr" else int(x)
-                for rep_rng in spawn_rng(master, config.repetitions):
-                    instance = paper_workload(config, ccr, n_procs, rep_rng)
-                    result = compare_once(
-                        instance, config.algorithms, validate=validate
-                    )
-                    for name in candidates:
-                        per_alg[name].append(
-                            result.improvement_over(config.baseline, name)
-                        )
-                    if with_metrics and result.stats:
-                        point_instances += 1
-                        for name, stats in result.stats.items():
-                            for cname, value in (
-                                stats.metrics.get("counters", {}).items()
-                            ):
-                                key = f"{name}:{cname}"
-                                point_counters.setdefault(key, []).append(value)
-            for name in candidates:
-                values = np.asarray(per_alg[name])
-                series[name].append(float(values.mean()))
-                sems[name].append(
-                    float(values.std(ddof=1) / np.sqrt(len(values)))
-                    if len(values) > 1
-                    else 0.0
-                )
-            if with_metrics:
-                # A counter an algorithm never touched at this point means 0,
-                # not absent — pad so every series spans every sweep point.
-                for key, values in point_counters.items():
-                    metric_series.setdefault(key, [0.0] * point_idx).append(
-                        sum(values) / max(1, point_instances)
-                    )
-                for values in metric_series.values():
-                    if len(values) < point_idx + 1:
-                        values.append(0.0)
+        results = execute_units(
+            config,
+            units,
+            jobs=jobs,
+            validate=validate,
+            with_metrics=with_metrics,
+            cache=as_cache(cache),
+        )
     finally:
         if with_metrics and not obs_was_on:
             from repro import obs as _obs
 
             _obs.disable()
-    series["_x"] = [float(x) for x in x_values]
-    if with_sem:
-        for name in candidates:
-            series[f"{name}_sem"] = sems[name]
-    series.update(metric_series)
-    return series
+    return merge_unit_results(
+        config,
+        x_values,
+        results,
+        with_sem=with_sem,
+        with_metrics=with_metrics,
+    )

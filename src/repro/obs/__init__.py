@@ -73,6 +73,33 @@ class ScheduleStats:
         """Value of one counter during the run (0 if never incremented)."""
         return self.metrics.get("counters", {}).get(name, 0.0)
 
+    def to_dict(self) -> dict:
+        """JSON-ready form of the capture (inverse of :meth:`from_dict`).
+
+        Used wherever a capture crosses a process or disk boundary: the
+        parallel sweep runner ships per-worker captures back to the parent,
+        and the experiment result cache persists them between sweeps.
+        """
+        return {
+            "metrics": self.metrics,
+            "timings": self.timings,
+            "events": [
+                {"kind": e.kind, "t": e.t, "data": e.data} for e in self.events
+            ],
+        }
+
+    @classmethod
+    def from_dict(cls, doc: dict) -> "ScheduleStats":
+        """Rebuild a capture serialized by :meth:`to_dict`."""
+        return cls(
+            metrics=doc.get("metrics", {}),
+            timings=doc.get("timings", {}),
+            events=[
+                Event(kind=d["kind"], t=d.get("t"), data=d.get("data", {}))
+                for d in doc.get("events", [])
+            ],
+        )
+
     def events_of(self, kind: str) -> list[Event]:
         return [e for e in self.events if e.kind == kind]
 

@@ -1,0 +1,194 @@
+"""Property tests for the experiment result cache (hypothesis).
+
+- the config fingerprint is a pure function of the config: equal configs
+  hash equal, any single-field perturbation (seed, density, CCR grid,
+  algorithm order, ...) changes it,
+- unit keys separate every addressing dimension (algorithm, grid cell,
+  instance seed),
+- a cached ``ComparisonResult`` round-trips through serialize/deserialize
+  losslessly (makespans, counters, timings, events).
+"""
+
+import json
+import string
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.experiments import (  # noqa: E402
+    ComparisonResult,
+    ExperimentConfig,
+    comparison_from_json,
+    comparison_to_json,
+    config_fingerprint,
+    unit_key,
+)
+from repro.obs import Event, ScheduleStats  # noqa: E402
+
+SETTINGS = settings(max_examples=30, deadline=None)
+
+#: generator for valid ExperimentConfig keyword arguments
+config_kwargs = st.fixed_dictionaries(
+    {
+        "seed": st.integers(0, 2**32 - 1),
+        "density": st.floats(0.01, 0.5, allow_nan=False),
+        "repetitions": st.integers(1, 5),
+        "ccrs": st.lists(
+            st.floats(0.1, 10.0, allow_nan=False),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        ).map(tuple),
+        "proc_counts": st.lists(
+            st.integers(2, 64), min_size=1, max_size=3, unique=True
+        ).map(tuple),
+        "heterogeneous": st.booleans(),
+    }
+)
+
+finite = st.floats(allow_nan=False, allow_infinity=False, width=64)
+counter_name = st.text(
+    alphabet=string.ascii_lowercase + "._", min_size=1, max_size=16
+)
+
+
+class TestConfigFingerprint:
+    @SETTINGS
+    @given(config_kwargs)
+    def test_equal_configs_hash_equal(self, kwargs):
+        assert config_fingerprint(ExperimentConfig(**kwargs)) == (
+            config_fingerprint(ExperimentConfig(**kwargs))
+        )
+
+    @SETTINGS
+    @given(config_kwargs)
+    def test_seed_perturbation_changes_key(self, kwargs):
+        base = ExperimentConfig(**kwargs)
+        assert config_fingerprint(base) != config_fingerprint(
+            base.with_(seed=base.seed + 1)
+        )
+
+    @SETTINGS
+    @given(config_kwargs)
+    def test_density_perturbation_changes_key(self, kwargs):
+        base = ExperimentConfig(**kwargs)
+        assert config_fingerprint(base) != config_fingerprint(
+            base.with_(density=base.density + 0.001)
+        )
+
+    @SETTINGS
+    @given(config_kwargs)
+    def test_ccr_grid_perturbation_changes_key(self, kwargs):
+        base = ExperimentConfig(**kwargs)
+        extended = base.with_(ccrs=base.ccrs + (11.0,))
+        assert config_fingerprint(base) != config_fingerprint(extended)
+        if len(base.ccrs) > 1 and base.ccrs != tuple(reversed(base.ccrs)):
+            # grid *order* counts: seeds are spawned in iteration order
+            reordered = base.with_(ccrs=tuple(reversed(base.ccrs)))
+            assert config_fingerprint(base) != config_fingerprint(reordered)
+
+    @SETTINGS
+    @given(config_kwargs)
+    def test_algorithm_order_changes_key(self, kwargs):
+        base = ExperimentConfig(**kwargs)  # ("ba", "oihsa", "bbsa")
+        reordered = base.with_(algorithms=("ba", "bbsa", "oihsa"))
+        assert config_fingerprint(base) != config_fingerprint(reordered)
+
+    def test_fingerprint_is_stable_hex(self):
+        fp = config_fingerprint(ExperimentConfig.smoke())
+        assert len(fp) == 64 and set(fp) <= set(string.hexdigits.lower())
+
+
+class TestUnitKey:
+    FP = config_fingerprint(ExperimentConfig.smoke())
+
+    @SETTINGS
+    @given(
+        ccr=st.floats(0.1, 10.0, allow_nan=False),
+        n_procs=st.integers(2, 128),
+        entropy=st.integers(0, 2**64 - 1),
+        spawn=st.integers(0, 1000),
+        algorithm=st.sampled_from(["ba", "oihsa", "bbsa", "classic"]),
+    )
+    def test_each_dimension_separates(self, ccr, n_procs, entropy, spawn, algorithm):
+        seed_key = (entropy, (spawn,))
+        key = unit_key(self.FP, ccr, n_procs, seed_key, algorithm)
+        assert key == unit_key(self.FP, ccr, n_procs, seed_key, algorithm)
+        assert key != unit_key(self.FP, ccr + 0.25, n_procs, seed_key, algorithm)
+        assert key != unit_key(self.FP, ccr, n_procs + 1, seed_key, algorithm)
+        assert key != unit_key(
+            self.FP, ccr, n_procs, (entropy, (spawn + 1,)), algorithm
+        )
+        assert key != unit_key(self.FP, ccr, n_procs, seed_key, algorithm + "x")
+        other_fp = config_fingerprint(ExperimentConfig.smoke().with_(seed=1))
+        assert key != unit_key(other_fp, ccr, n_procs, seed_key, algorithm)
+
+
+class TestComparisonRoundTrip:
+    @SETTINGS
+    @given(
+        names=st.lists(
+            st.sampled_from(["ba", "oihsa", "bbsa", "classic", "heft"]),
+            min_size=1,
+            max_size=4,
+            unique=True,
+        ),
+        data=st.data(),
+    )
+    def test_makespans_and_counters_lossless(self, names, data):
+        makespans = {
+            n: data.draw(st.floats(1e-3, 1e9, allow_nan=False)) for n in names
+        }
+        counters = {
+            n: data.draw(
+                st.dictionaries(counter_name, finite, max_size=4)
+            )
+            for n in names
+        }
+        result = ComparisonResult(
+            instance=None,
+            makespans=makespans,
+            stats={
+                n: ScheduleStats(metrics={"counters": counters[n]})
+                for n in names
+            },
+        )
+        back = comparison_from_json(comparison_to_json(result))
+        assert back.makespans == makespans  # exact float equality
+        assert set(back.stats) == set(names)
+        for n in names:
+            assert back.stats[n].metrics == {"counters": counters[n]}
+
+    def test_timings_and_events_round_trip(self):
+        stats = ScheduleStats(
+            metrics={"counters": {"insertion.probes": 12.0}},
+            timings={"routing": {"total": 0.125, "count": 3}},
+            events=[
+                Event("route_probed", 1.5, {"src": 0, "dst": 4, "hops": 2}),
+                Event("processor_chosen", None, {"task": 7}),
+            ],
+        )
+        result = ComparisonResult(
+            instance=None, makespans={"ba": 10.0}, stats={"ba": stats}
+        )
+        back = comparison_from_json(comparison_to_json(result))
+        assert back.stats["ba"].metrics == stats.metrics
+        assert back.stats["ba"].timings == stats.timings
+        assert back.stats["ba"].events == stats.events
+
+    def test_stats_none_round_trips(self):
+        result = ComparisonResult(instance=None, makespans={"ba": 3.5})
+        back = comparison_from_json(comparison_to_json(result))
+        assert back.stats is None
+        assert back.makespans == {"ba": 3.5}
+
+    def test_payload_is_plain_json(self):
+        result = ComparisonResult(
+            instance=None,
+            makespans={"ba": 10.0, "oihsa": 8.0},
+            stats={"ba": ScheduleStats(metrics={"counters": {"x": 1.0}})},
+        )
+        doc = json.loads(comparison_to_json(result))
+        assert set(doc) == {"instance", "makespans", "stats"}

@@ -123,10 +123,58 @@ class TestAblation:
 
 
 class TestFigures:
-    def test_smoke_single_figure(self, capsys):
-        assert main(["figures", "--scale", "smoke", "--only", "figure1"]) == 0
+    def test_smoke_single_figure(self, tmp_path, capsys):
+        assert (
+            main(
+                [
+                    "figures", "--scale", "smoke", "--only", "figure1",
+                    "--cache-dir", str(tmp_path),
+                ]
+            )
+            == 0
+        )
         out = capsys.readouterr().out
         assert "figure1" in out and "shape checks" in out
+
+
+class TestFiguresParallelCache:
+    ARGS = ["figures", "--scale", "smoke", "--only", "figure1"]
+
+    def test_jobs_2_matches_jobs_1(self, tmp_path, capsys):
+        argv = self.ARGS + ["--cache-dir", str(tmp_path)]
+        assert main(argv + ["--jobs", "1"]) == 0
+        serial = capsys.readouterr().out
+        assert main(argv + ["--jobs", "2"]) == 0
+        parallel = capsys.readouterr().out
+        assert parallel == serial
+
+    def test_cache_dir_populated_and_reported(self, tmp_path, capsys):
+        assert main(self.ARGS + ["--cache-dir", str(tmp_path)]) == 0
+        captured = capsys.readouterr()
+        assert list(tmp_path.glob("*/*.json")), "cache dir should hold records"
+        assert "[cache]" in captured.err
+        assert "[cache]" not in captured.out  # stdout stays cache-agnostic
+
+    def test_no_cache_leaves_dir_untouched(self, tmp_path, capsys):
+        assert (
+            main(self.ARGS + ["--no-cache", "--cache-dir", str(tmp_path)]) == 0
+        )
+        captured = capsys.readouterr()
+        assert not list(tmp_path.rglob("*.json"))
+        assert "[cache]" not in captured.err
+
+    def test_warm_cache_rerun_matches_cold(self, tmp_path, capsys):
+        argv = self.ARGS + ["--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0
+        captured = capsys.readouterr()
+        assert captured.out == cold
+        assert "0 misses" in captured.err
+
+    def test_bad_jobs_rejected(self, capsys):
+        assert main(self.ARGS + ["--jobs", "0"]) == 2
+        assert "--jobs must be >= 1" in capsys.readouterr().err
 
 
 class TestExport:

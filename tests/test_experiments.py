@@ -130,6 +130,30 @@ class TestRunner:
         cfg = ExperimentConfig.smoke()
         assert improvement_series(cfg, sweep="ccr") == improvement_series(cfg, sweep="ccr")
 
+    def test_with_metrics_counter_series_span_every_point(self):
+        # Regression guard for the counter padding: every emitted
+        # "<algorithm>:<counter>" series must cover the full x grid, even
+        # when a counter is first observed late or stops being observed
+        # (the synthetic cases live in test_parallel_equivalence.py).
+        cfg = ExperimentConfig.smoke()
+        series = improvement_series(cfg, sweep="ccr", with_metrics=True)
+        n_points = len(series["_x"])
+        counter_keys = [k for k in series if ":" in k]
+        assert counter_keys
+        assert all(len(series[k]) == n_points for k in counter_keys)
+
+    def test_parallel_and_cached_series_match_serial(self, tmp_path):
+        cfg = ExperimentConfig.smoke()
+        serial = improvement_series(cfg, sweep="procs")
+        assert improvement_series(cfg, sweep="procs", jobs=2) == serial
+        assert (
+            improvement_series(cfg, sweep="procs", cache=tmp_path) == serial
+        )
+        # warm replay
+        assert (
+            improvement_series(cfg, sweep="procs", cache=tmp_path) == serial
+        )
+
 
 class TestFigures:
     def test_figure1_smoke(self):

@@ -1,0 +1,274 @@
+"""Equivalence suite: the parallel fan-out and the result cache are
+bit-for-bit identical to the serial sweep path.
+
+The determinism contract (docs/parallel_experiments.md): for any jobs count
+and any cache temperature, ``improvement_series`` returns *exactly* the same
+dict — values, SEMs, and counter series — because instance seeds are spawned
+up front in serial order and results merge in unit-index order.
+"""
+
+import pytest
+
+from repro import obs
+from repro.exceptions import ReproError
+from repro.experiments import (
+    ExperimentConfig,
+    ResultCache,
+    UnitResult,
+    execute_units,
+    improvement_series,
+    merge_unit_results,
+    plan_sweep,
+    run_unit,
+)
+
+#: Small but non-trivial: 2 sweep points x 2 inner values x 2 repetitions.
+CFG = ExperimentConfig(
+    ccrs=(0.5, 2.0),
+    proc_counts=(2, 4),
+    task_range=(10, 22),
+    repetitions=2,
+)
+
+
+@pytest.fixture(scope="module")
+def serial_series():
+    return improvement_series(
+        CFG, sweep="ccr", with_sem=True, with_metrics=True
+    )
+
+
+class TestJobsEquivalence:
+    @pytest.mark.parametrize("jobs", [2, 4])
+    def test_ccr_sweep_identical(self, serial_series, jobs):
+        parallel = improvement_series(
+            CFG, sweep="ccr", with_sem=True, with_metrics=True, jobs=jobs
+        )
+        assert parallel == serial_series
+        assert list(parallel) == list(serial_series)  # same key order too
+
+    def test_procs_sweep_identical(self):
+        serial = improvement_series(CFG, sweep="procs", with_sem=True)
+        parallel = improvement_series(
+            CFG, sweep="procs", with_sem=True, jobs=2
+        )
+        assert parallel == serial
+
+    def test_counter_series_present_and_full_length(self, serial_series):
+        counter_keys = [k for k in serial_series if ":" in k]
+        assert counter_keys, "with_metrics should emit counter series"
+        n_points = len(serial_series["_x"])
+        for key in counter_keys:
+            assert len(serial_series[key]) == n_points
+
+    def test_bad_jobs_rejected(self):
+        with pytest.raises(ReproError):
+            improvement_series(CFG, sweep="ccr", jobs=0)
+
+    def test_obs_left_disabled(self, serial_series):
+        assert not obs.is_enabled()
+
+
+class TestPlan:
+    def test_plan_is_reproducible(self):
+        _, a = plan_sweep(CFG, "ccr")
+        _, b = plan_sweep(CFG, "ccr")
+        assert [u.seed_key for u in a] == [u.seed_key for u in b]
+
+    def test_units_cover_grid_in_serial_order(self):
+        x_values, units = plan_sweep(CFG, "ccr")
+        assert x_values == [0.5, 2.0]
+        assert [u.index for u in units] == list(range(len(units)))
+        assert len(units) == len(CFG.ccrs) * len(CFG.proc_counts) * CFG.repetitions
+        # serial order: sweep point major, inner grid, then repetition
+        assert [u.point_idx for u in units] == [0] * 4 + [1] * 4
+        assert [u.n_procs for u in units[:4]] == [2, 2, 4, 4]
+
+    def test_seed_keys_are_unique(self):
+        _, units = plan_sweep(CFG, "ccr")
+        assert len({u.seed_key for u in units}) == len(units)
+
+    def test_bad_sweep(self):
+        with pytest.raises(ReproError):
+            plan_sweep(CFG, "speed")
+
+    def test_run_unit_is_pure(self):
+        _, units = plan_sweep(CFG, "ccr")
+        a = run_unit(CFG, units[0], CFG.algorithms)
+        b = run_unit(CFG, units[0], CFG.algorithms)
+        assert a.makespans == b.makespans
+
+
+class TestCacheEquivalence:
+    def test_warm_rerun_reproduces_cold_exactly(self, tmp_path, serial_series):
+        cold_cache = ResultCache(tmp_path)
+        cold = improvement_series(
+            CFG, sweep="ccr", with_sem=True, with_metrics=True,
+            cache=cold_cache,
+        )
+        assert cold == serial_series
+        assert cold_cache.stats.hits == 0
+        assert cold_cache.stats.writes > 0
+        warm_cache = ResultCache(tmp_path)
+        warm = improvement_series(
+            CFG, sweep="ccr", with_sem=True, with_metrics=True,
+            cache=warm_cache,
+        )
+        assert warm == cold
+        assert warm_cache.stats.misses == 0
+        assert warm_cache.stats.hits == cold_cache.stats.writes
+
+    def test_warm_parallel_matches(self, tmp_path, serial_series):
+        improvement_series(
+            CFG, sweep="ccr", with_sem=True, with_metrics=True,
+            cache=ResultCache(tmp_path),
+        )
+        warm = improvement_series(
+            CFG, sweep="ccr", with_sem=True, with_metrics=True,
+            cache=ResultCache(tmp_path), jobs=2,
+        )
+        assert warm == serial_series
+
+    def test_cache_accepts_path(self, tmp_path):
+        a = improvement_series(CFG, sweep="procs", cache=tmp_path)
+        b = improvement_series(CFG, sweep="procs", cache=str(tmp_path))
+        assert a == b
+
+    def test_metricless_records_do_not_satisfy_metrics_request(
+        self, tmp_path, serial_series
+    ):
+        # A sweep without metrics writes counter-less records ...
+        improvement_series(CFG, sweep="ccr", cache=ResultCache(tmp_path))
+        # ... which must not be replayed into a with_metrics sweep.
+        cache = ResultCache(tmp_path)
+        series = improvement_series(
+            CFG, sweep="ccr", with_sem=True, with_metrics=True, cache=cache,
+        )
+        assert cache.stats.misses > 0
+        assert series == serial_series
+
+    def test_metrics_records_satisfy_metricless_request(self, tmp_path):
+        improvement_series(
+            CFG, sweep="ccr", with_metrics=True, cache=ResultCache(tmp_path)
+        )
+        cache = ResultCache(tmp_path)
+        series = improvement_series(CFG, sweep="ccr", cache=cache)
+        assert cache.stats.misses == 0
+        assert series == improvement_series(CFG, sweep="ccr")
+
+    def test_corrupt_record_recomputed(self, tmp_path):
+        improvement_series(CFG, sweep="procs", cache=ResultCache(tmp_path))
+        victim = next(tmp_path.glob("*/*.json"))
+        victim.write_text("{not json")
+        cache = ResultCache(tmp_path)
+        series = improvement_series(CFG, sweep="procs", cache=cache)
+        assert series == improvement_series(CFG, sweep="procs")
+        assert cache.stats.misses >= 1
+
+
+def _unit(index, point_idx, counters):
+    return UnitResult(
+        index=index,
+        point_idx=point_idx,
+        makespans={"ba": 10.0, "oihsa": 8.0},
+        counters=counters,
+    )
+
+
+class TestCounterPadding:
+    """Regression tests for the counter zero-padding in the point merge.
+
+    Every ``"<algorithm>:<counter>"`` series must span every sweep point:
+    counters first observed late are back-filled with zeros, counters that
+    stop being observed are forward-filled.
+    """
+
+    CFG3 = ExperimentConfig(
+        ccrs=(0.5, 1.0, 2.0),
+        proc_counts=(4,),
+        repetitions=1,
+        algorithms=("ba", "oihsa"),
+    )
+    X = [0.5, 1.0, 2.0]
+
+    def merge(self, results):
+        return merge_unit_results(
+            self.CFG3, self.X, results, with_metrics=True
+        )
+
+    def test_counter_appearing_only_at_final_point(self):
+        results = [
+            _unit(0, 0, {"oihsa": {}}),
+            _unit(1, 1, {"oihsa": {}}),
+            _unit(2, 2, {"oihsa": {"late.counter": 4.0}}),
+        ]
+        series = self.merge(results)
+        assert series["oihsa:late.counter"] == [0.0, 0.0, 4.0]
+
+    def test_counter_disappearing_mid_sweep(self):
+        results = [
+            _unit(0, 0, {"oihsa": {"early.counter": 2.0}}),
+            _unit(1, 1, {"oihsa": {}}),
+            _unit(2, 2, {"oihsa": {}}),
+        ]
+        series = self.merge(results)
+        assert series["oihsa:early.counter"] == [2.0, 0.0, 0.0]
+
+    def test_counter_with_gap_in_the_middle(self):
+        results = [
+            _unit(0, 0, {"oihsa": {"gappy": 1.0}}),
+            _unit(1, 1, {"oihsa": {}}),
+            _unit(2, 2, {"oihsa": {"gappy": 3.0}}),
+        ]
+        series = self.merge(results)
+        assert series["oihsa:gappy"] == [1.0, 0.0, 3.0]
+
+    def test_all_counter_series_span_all_points(self):
+        results = [
+            _unit(0, 0, {"oihsa": {"a": 1.0}, "ba": {"b": 2.0}}),
+            _unit(1, 1, {"oihsa": {"c": 5.0}}),
+            _unit(2, 2, {"ba": {"a": 7.0}}),
+        ]
+        series = self.merge(results)
+        for key in ("oihsa:a", "ba:b", "oihsa:c", "ba:a"):
+            assert len(series[key]) == 3
+
+    def test_point_mean_divides_by_instances_with_stats(self):
+        # Two instances at the point, only one incremented the counter: the
+        # per-point value is the mean over *instances with captures*, so the
+        # silent instance counts as zero.
+        cfg = ExperimentConfig(
+            ccrs=(1.0,),
+            proc_counts=(4,),
+            repetitions=2,
+            algorithms=("ba", "oihsa"),
+        )
+        results = [
+            _unit(0, 0, {"oihsa": {"probes": 6.0}}),
+            _unit(1, 0, {"oihsa": {}}),
+        ]
+        series = merge_unit_results(cfg, [1.0], results, with_metrics=True)
+        assert series["oihsa:probes"] == [3.0]
+
+    def test_missing_point_raises(self):
+        with pytest.raises(ReproError):
+            self.merge([_unit(0, 0, None), _unit(2, 2, None)])
+
+
+class TestExecuteUnits:
+    def test_partial_cache_merges_missing_algorithms(self, tmp_path):
+        # Warm the cache with a 2-algorithm config, then sweep a 3-algorithm
+        # superset: only the new algorithm should be computed fresh, and the
+        # merged output must equal an uncached run of the full config.
+        small = CFG.with_(algorithms=("ba", "oihsa"))
+        improvement_series(small, sweep="ccr", cache=ResultCache(tmp_path))
+        # different algorithms tuple -> different fingerprint -> full recompute
+        cache = ResultCache(tmp_path)
+        full = improvement_series(CFG, sweep="ccr", cache=cache)
+        assert cache.stats.hits == 0  # fingerprint isolation, no reuse
+        assert full == improvement_series(CFG, sweep="ccr")
+
+    def test_results_in_unit_order(self):
+        _, units = plan_sweep(CFG, "ccr")
+        results = execute_units(CFG, units, jobs=2)
+        assert [r.index for r in results] == [u.index for u in units]

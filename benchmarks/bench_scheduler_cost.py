@@ -10,8 +10,15 @@ benchmark timer — collects the per-phase breakdown (routing vs insertion vs
 processor selection vs task placement) through :mod:`repro.obs.profile`
 plus the run's decision counters, and the session writes the lot to
 ``BENCH_scheduler_cost.json`` in the working directory.
+
+Each algorithm's **makespan** on the fixed workload is recorded too, plus a
+``makespan_checksum`` over all of them: performance work on the engines must
+never change what they compute, so CI compares the checksum against the
+baseline ``BENCH_scheduler_cost.json`` committed at the repo root (see
+``benchmarks/compare_scheduler_cost.py``) and fails on any drift.
 """
 
+import hashlib
 import json
 from pathlib import Path
 from time import perf_counter
@@ -54,7 +61,22 @@ def _profiled_run(algo: str, graph, net) -> dict:
     phases = {
         p: timings.get(p, {"total": 0.0, "count": 0}) for p in PHASES
     }
-    return {"wall_s": wall, "phases": phases, "counters": counters}
+    return {
+        "wall_s": wall,
+        "makespan": schedule.makespan,
+        "phases": phases,
+        "counters": counters,
+    }
+
+
+def makespan_checksum(report: dict[str, dict]) -> str:
+    """Order-independent digest of every algorithm's makespan.
+
+    Uses ``repr`` of the floats (shortest round-trip form) so the digest is
+    bit-exact: any behavioral drift in any engine changes it.
+    """
+    lines = sorted(f"{algo}={report[algo]['makespan']!r}" for algo in report)
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
 
 
 @pytest.mark.parametrize("algo", sorted(SCHEDULERS))
@@ -85,5 +107,9 @@ def _write_phase_report():
     if not _phase_report:
         return
     out = Path("BENCH_scheduler_cost.json")
-    out.write_text(json.dumps(_phase_report, indent=1, sort_keys=True))
+    payload = {
+        "algorithms": _phase_report,
+        "makespan_checksum": makespan_checksum(_phase_report),
+    }
+    out.write_text(json.dumps(payload, indent=1, sort_keys=True))
     print(f"\nwrote per-phase scheduler cost breakdown to {out.resolve()}")

@@ -1,0 +1,76 @@
+"""Compare a fresh ``BENCH_scheduler_cost.json`` against the committed baseline.
+
+Usage::
+
+    python benchmarks/compare_scheduler_cost.py CURRENT [BASELINE]
+
+``BASELINE`` defaults to the ``BENCH_scheduler_cost.json`` committed at the
+repo root.  Exits non-zero when any algorithm's makespan (and therefore the
+``makespan_checksum``) drifts from the baseline — performance work must never
+change what the engines compute.  Wall-clock numbers are *reported* but never
+gated on: CI runners are too noisy for timing assertions.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _load(path: Path) -> dict:
+    data = json.loads(path.read_text())
+    if "algorithms" not in data or "makespan_checksum" not in data:
+        raise SystemExit(
+            f"{path}: not a scheduler-cost report (missing 'algorithms' or "
+            f"'makespan_checksum' — regenerate with "
+            f"'python -m pytest benchmarks/bench_scheduler_cost.py')"
+        )
+    return data
+
+
+def main(argv: list[str]) -> int:
+    if not 1 <= len(argv) <= 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    current = _load(Path(argv[0]))
+    baseline_path = (
+        Path(argv[1]) if len(argv) == 2 else REPO_ROOT / "BENCH_scheduler_cost.json"
+    )
+    baseline = _load(baseline_path)
+
+    cur_algos = current["algorithms"]
+    base_algos = baseline["algorithms"]
+    for algo in sorted(set(cur_algos) | set(base_algos)):
+        cur = cur_algos.get(algo)
+        base = base_algos.get(algo)
+        if cur is None or base is None:
+            print(f"{algo:>12}: only in {'baseline' if cur is None else 'current'}")
+            continue
+        ratio = base["wall_s"] / cur["wall_s"] if cur["wall_s"] else float("inf")
+        drift = "" if cur["makespan"] == base["makespan"] else "  << MAKESPAN DRIFT"
+        print(
+            f"{algo:>12}: wall {base['wall_s'] * 1e3:8.1f}ms -> "
+            f"{cur['wall_s'] * 1e3:8.1f}ms ({ratio:4.2f}x)  "
+            f"makespan {cur['makespan']!r}{drift}"
+        )
+
+    if current["makespan_checksum"] != baseline["makespan_checksum"]:
+        print(
+            f"\nFAIL: makespan checksum drifted from baseline {baseline_path}\n"
+            f"  baseline: {baseline['makespan_checksum']}\n"
+            f"  current:  {current['makespan_checksum']}\n"
+            "The engines no longer compute the same schedules. If the change "
+            "is intentional (a new algorithm or a deliberate model fix), "
+            "regenerate and commit the baseline.",
+            file=sys.stderr,
+        )
+        return 1
+    print("\nOK: makespan checksum matches baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -138,22 +138,36 @@ class ContentionScheduler(ABC):
         if mls <= 0:
             raise SchedulingError(f"invalid mean link speed {mls}")
         weight = graph.task(tid).weight
-        in_edges = graph.in_edges(tid)
-        best: tuple[float, int] | None = None
+        # Each predecessor's placement and remote estimate are the same for
+        # every candidate; compute them once instead of per processor.
+        preds = []
+        for e in graph.in_edges(tid):
+            src_pl = pstate.placement(e.src)
+            preds.append((src_pl.processor, src_pl.finish, src_pl.finish + e.cost / mls))
+        # ``procs`` is sorted by vid (see ``schedule``), so iterating in order
+        # and keeping the first strict improvement reproduces the
+        # ``(finish, vid)`` tie-break without building a tuple per candidate.
+        best_finish = float("inf")
         chosen = procs[0]
+        finish_time = pstate.finish_time
         for proc in procs:
+            vid = proc.vid
             comm_bound = 0.0
-            for e in in_edges:
-                src_pl = pstate.placement(e.src)
-                est = src_pl.finish
-                if not (local_comm_exempt and src_pl.processor == proc.vid):
-                    est += e.cost / mls
-                if est > comm_bound:
-                    comm_bound = est
-            finish = max(comm_bound, pstate.finish_time(proc.vid)) + weight / proc.speed
-            key = (finish, proc.vid)
-            if best is None or key < best:
-                best, chosen = key, proc
+            if local_comm_exempt:
+                for src_proc, local_est, remote_est in preds:
+                    est = local_est if src_proc == vid else remote_est
+                    if est > comm_bound:
+                        comm_bound = est
+            else:
+                for _, _, remote_est in preds:
+                    if remote_est > comm_bound:
+                        comm_bound = remote_est
+            ft = finish_time(vid)
+            if ft > comm_bound:
+                comm_bound = ft
+            finish = comm_bound + weight / proc.speed
+            if finish < best_finish:
+                best_finish, chosen = finish, proc
         return chosen
 
     @staticmethod

@@ -3,7 +3,7 @@
 This package is the substrate the paper's contribution runs on:
 
 - :mod:`repro.linksched.slots` — immutable time slots and gap search,
-- :mod:`repro.linksched.state` — per-link queues with copy-on-write
+- :mod:`repro.linksched.state` — per-link indexed queues with undo-log
   transactions (cheap tentative scheduling / rollback),
 - :mod:`repro.linksched.insertion` — BA's basic insertion,
 - :mod:`repro.linksched.optimal_insertion` — OIHSA's deferral-based optimal
@@ -14,7 +14,7 @@ This package is the substrate the paper's contribution runs on:
 """
 
 from repro.linksched.commmodel import CommModel, CUT_THROUGH, STORE_AND_FORWARD
-from repro.linksched.slots import TimeSlot, find_gap
+from repro.linksched.slots import TimeSlot, find_gap, find_gap_indexed
 from repro.linksched.state import LinkScheduleState
 from repro.linksched.insertion import probe_basic, schedule_edge_basic, probe_route_basic
 from repro.linksched.optimal_insertion import (
@@ -36,6 +36,7 @@ __all__ = [
     "STORE_AND_FORWARD",
     "TimeSlot",
     "find_gap",
+    "find_gap_indexed",
     "LinkScheduleState",
     "probe_basic",
     "schedule_edge_basic",

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 from repro.exceptions import SchedulingError
 from repro.linksched.commmodel import CUT_THROUGH, CommModel
-from repro.linksched.slots import TimeSlot, find_gap
+from repro.linksched.slots import TimeSlot
 from repro.linksched.state import LinkScheduleState
 from repro.network.topology import Link, Route
 from repro.obs import OBS
@@ -30,14 +30,17 @@ def probe_basic(
 ) -> tuple[int, float, float]:
     """Placement of a ``cost``-sized transfer on ``link`` without committing.
 
-    Returns ``(queue index, start, finish)``.
+    Returns ``(queue index, start, finish)``.  All argument validation
+    happens *before* the ``insertion.probes`` counter increments, so a
+    rejected probe is never counted as work done.
     """
     if cost < 0:
         raise SchedulingError(f"negative communication cost {cost}")
+    if est < 0:
+        raise SchedulingError(f"negative earliest start time {est}")
     if OBS.on:
         OBS.metrics.counter("insertion.probes").inc()
-    duration = cost / link.speed
-    return find_gap(state.slots(link.lid), duration, est, min_finish)
+    return state.find_gap(link.lid, cost / link.speed, est, min_finish)
 
 
 def schedule_edge_basic(

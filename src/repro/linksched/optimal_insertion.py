@@ -26,7 +26,7 @@ can absorb.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.exceptions import SchedulingError
 from repro.linksched.commmodel import CUT_THROUGH, CommModel
@@ -64,8 +64,7 @@ def deferrable_time(
     return max(0.0, dt)
 
 
-@dataclass(frozen=True, slots=True)
-class OptimalPlacement:
+class OptimalPlacement(NamedTuple):
     """Result of :func:`probe_optimal`: where the new slot goes and its times."""
 
     index: int
@@ -95,38 +94,88 @@ def probe_optimal(
     if observing:
         OBS.metrics.counter("optimal.probes").inc()
     duration = cost / link.speed
-    slots = state.slots(link.lid)
+    lid = link.lid
+    queue = state._queues.get(lid)
+    if queue is None:
+        slots, starts, finishes = (), (), ()
+    else:
+        slots, starts, finishes = queue.slots, queue.starts, queue.finishes
     n = len(slots)
+    floor = min_finish - duration
+    lo = est if est >= floor else floor  # == max(est, min_finish - duration)
 
-    # Tail placement is always feasible.
-    tail_prev = slots[-1].finish if slots else 0.0
-    start = max(tail_prev, est, min_finish - duration)
-    best = OptimalPlacement(n, start, start + duration, 0.0)
+    # Tail placement is always feasible.  The best candidate is tracked in
+    # plain locals; the OptimalPlacement is built once on return.
+    tail_prev = finishes[-1] if n else 0.0
+    start = tail_prev if tail_prev > lo else lo
+    best_index = n
+    best_start = start
+    best_finish = start + duration
+    best_overflow = 0.0
+
+    # The scan calls the Lemma-2 slack once per queued slot; inline
+    # :func:`deferrable_time` (same arithmetic) with the state's internals
+    # hoisted, falling back to the methods only to raise their proper errors.
+    next_link_map = state._next_link
+    queues = state._queues
+    hop = comm.hop_delay
+    cut_through = comm.mode == "cut-through"
 
     accum = 0.0
     for i in range(n - 1, -1, -1):
-        slot = slots[i]
-        gap_after = (slots[i + 1].start - slot.finish) if i + 1 < n else math.inf
-        accum = min(deferrable_time(state, link.lid, slot, comm), accum + gap_after)
-        prev_finish = slots[i - 1].finish if i > 0 else 0.0
-        start = max(prev_finish, est, min_finish - duration)
+        slot_start = starts[i]
+        gap_after = (starts[i + 1] - finishes[i]) if i + 1 < n else math.inf
+        room = accum + gap_after
+        if room == 0.0:
+            # ``min(dt, 0.0)`` is 0.0 for any slack (clamped >= 0), so the
+            # slack lookups can be skipped — back-to-back slots, the common
+            # case in packed queue tails, all take this branch.
+            accum = 0.0
+        else:
+            s = slots[i]
+            try:
+                next_lid = next_link_map[(s.edge, lid)]
+            except KeyError:
+                next_lid = state.next_link_of(s.edge, lid)  # raises the seed error
+            if next_lid is None:
+                dt = 0.0
+            else:
+                try:
+                    nxt = queues[next_lid].by_edge[s.edge]
+                except KeyError:
+                    nxt = state.slot_of(s.edge, next_lid)  # raises the seed error
+                if cut_through:
+                    dt = min(
+                        nxt.start - hop - s.start,
+                        nxt.finish - hop - s.finish,
+                    )
+                else:
+                    dt = nxt.start - hop - s.finish
+                dt = max(0.0, dt)
+            accum = dt if dt < room else room
+        prev_finish = finishes[i - 1] if i > 0 else 0.0
+        start = prev_finish if prev_finish > lo else lo
         finish = start + duration
-        if finish <= slot.start + accum + EPS:
-            overflow = max(0.0, finish - slot.start)
-            cand = OptimalPlacement(i, start, finish, min(overflow, accum))
+        if finish <= slot_start + accum + EPS:
+            overflow = finish - slot_start
+            if overflow < 0.0:
+                overflow = 0.0
             # Head-most feasible gap == earliest start: keep scanning.
-            best = cand
+            best_index = i
+            best_start = start
+            best_finish = finish
+            best_overflow = overflow if overflow < accum else accum
         elif observing:
             OBS.metrics.counter("optimal.gap_rejections").inc()
             OBS.emit(
                 "probe_rejected",
                 t=start,
-                lid=link.lid,
+                lid=lid,
                 index=i,
                 needed=finish,
-                available=slot.start + accum,
+                available=slot_start + accum,
             )
-    return best
+    return OptimalPlacement(best_index, best_start, best_finish, best_overflow)
 
 
 def commit_optimal(
@@ -146,6 +195,7 @@ def commit_optimal(
     new_slot = TimeSlot(edge, placement.start, placement.finish)
     suffix: list[TimeSlot] = [new_slot]
     prev_finish = new_slot.finish
+    observing = OBS.on
     for i in range(placement.index, len(slots)):
         s = slots[i]
         if s.start + EPS >= prev_finish:
@@ -161,7 +211,7 @@ def commit_optimal(
         moved = s.shifted(delta)
         suffix.append(moved)
         prev_finish = moved.finish
-        if OBS.on:
+        if observing:
             OBS.metrics.counter("optimal.deferrals").inc()
             OBS.metrics.histogram("optimal.deferral_amount").observe(delta)
             OBS.emit(
@@ -174,6 +224,120 @@ def commit_optimal(
                 slack=slack,
             )
     state.replace_suffix(link.lid, placement.index, suffix)
+
+
+def _schedule_edge_optimal_fast(
+    state: LinkScheduleState,
+    edge: EdgeKey,
+    route: Route,
+    cost: float,
+    ready_time: float,
+    comm: CommModel,
+) -> float:
+    """Obs-off booking loop: :func:`probe_optimal` + :func:`commit_optimal`
+    fused per link.
+
+    Bit-identical to the probe/commit pair — the scan and cascade arithmetic
+    are copied verbatim (including error messages); only the per-link
+    function calls, the :class:`OptimalPlacement` allocations (whose
+    ``overflow`` field the commit never reads), and the observability hooks
+    are dropped.
+    """
+    if cost < 0:
+        raise SchedulingError(f"negative communication cost {cost}")
+    hop = comm.hop_delay
+    cut_through = comm.mode == "cut-through"
+    queues = state._queues
+    next_link_map = state._next_link
+    est = ready_time
+    min_finish = 0.0
+    finish = ready_time
+    for link in route:
+        lid = link.lid
+        duration = cost / link.speed
+        queue = queues.get(lid)
+        if queue is None:
+            slots: list[TimeSlot] = []
+            starts: list[float] = []
+            finishes: list[float] = []
+        else:
+            slots, starts, finishes = queue.slots, queue.starts, queue.finishes
+        n = len(slots)
+        floor = min_finish - duration
+        lo = est if est >= floor else floor
+        tail_prev = finishes[-1] if n else 0.0
+        start = tail_prev if tail_prev > lo else lo
+        best_index = n
+        best_start = start
+        best_finish = start + duration
+        # -- probe scan (see probe_optimal) --
+        accum = 0.0
+        for i in range(n - 1, -1, -1):
+            slot_start = starts[i]
+            gap_after = (starts[i + 1] - finishes[i]) if i + 1 < n else math.inf
+            room = accum + gap_after
+            if room == 0.0:
+                accum = 0.0
+            else:
+                s = slots[i]
+                try:
+                    next_lid = next_link_map[(s.edge, lid)]
+                except KeyError:
+                    next_lid = state.next_link_of(s.edge, lid)  # raises
+                if next_lid is None:
+                    dt = 0.0
+                else:
+                    try:
+                        nxt = queues[next_lid].by_edge[s.edge]
+                    except KeyError:
+                        nxt = state.slot_of(s.edge, next_lid)  # raises
+                    if cut_through:
+                        dt = min(
+                            nxt.start - hop - s.start,
+                            nxt.finish - hop - s.finish,
+                        )
+                    else:
+                        dt = nxt.start - hop - s.finish
+                    dt = max(0.0, dt)
+                accum = dt if dt < room else room
+            prev_finish = finishes[i - 1] if i > 0 else 0.0
+            start = prev_finish if prev_finish > lo else lo
+            fin = start + duration
+            if fin <= slot_start + accum + EPS:
+                best_index = i
+                best_start = start
+                best_finish = fin
+        # -- commit cascade (see commit_optimal) --
+        new_slot = TimeSlot(edge, best_start, best_finish)
+        if best_index == n:
+            state.replace_suffix(lid, n, [new_slot])
+        else:
+            suffix: list[TimeSlot] = [new_slot]
+            prev_finish = best_finish
+            for j in range(best_index, n):
+                s = slots[j]
+                if s.start + EPS >= prev_finish:
+                    suffix.extend(slots[j:])
+                    break
+                delta = prev_finish - s.start
+                slack = deferrable_time(state, lid, s, comm)
+                if delta > slack + EPS:
+                    raise SchedulingError(
+                        f"deferral cascade pushed edge {s.edge} on link {lid} by "
+                        f"{delta:.12g} but its causality slack is only {slack:.12g}"
+                    )
+                moved = s.shifted(delta)
+                suffix.append(moved)
+                prev_finish = moved.finish
+            state.replace_suffix(lid, best_index, suffix)
+        finish = best_finish
+        if cut_through:
+            est = best_start + hop
+            min_finish = finish + hop
+        else:
+            est = finish + hop
+            min_finish = 0.0
+    return finish
 
 
 def schedule_edge_optimal(
@@ -191,23 +355,33 @@ def schedule_edge_optimal(
         state.record_route(edge, ())
         return ready_time
     state.record_route(edge, tuple(l.lid for l in route))
+    if not OBS.on:
+        return _schedule_edge_optimal_fast(state, edge, route, cost, ready_time, comm)
     est = ready_time
     min_finish = 0.0
     finish = ready_time
+    # ``comm.next_constraints`` inlined with the model's fields hoisted out of
+    # the loop (same arithmetic — see CommModel.next_constraints).
+    hop = comm.hop_delay
+    cut_through = comm.mode == "cut-through"
     for link in route:
         placement = probe_optimal(state, link, cost, est, min_finish, comm)
         commit_optimal(state, link, edge, placement, comm)
-        est, min_finish = comm.next_constraints(placement.start, placement.finish)
         finish = placement.finish
-    if OBS.on:
-        OBS.metrics.counter("insertion.edges_scheduled").inc()
-        OBS.emit(
-            "edge_scheduled",
-            t=finish,
-            edge=list(edge),
-            policy="optimal",
-            links=[l.lid for l in route],
-            ready=ready_time,
-            arrival=finish,
-        )
+        if cut_through:
+            est = placement.start + hop
+            min_finish = finish + hop
+        else:
+            est = finish + hop
+            min_finish = 0.0
+    OBS.metrics.counter("insertion.edges_scheduled").inc()
+    OBS.emit(
+        "edge_scheduled",
+        t=finish,
+        edge=list(edge),
+        policy="optimal",
+        links=[l.lid for l in route],
+        ready=ready_time,
+        arrival=finish,
+    )
     return finish

@@ -43,30 +43,35 @@ def bfs_route(net: NetworkTopology, src: VertexId, dst: VertexId) -> Route:
     _check_endpoints(net, src, dst)
     if src == dst:
         return []
-    parent: dict[VertexId, tuple[VertexId, Link]] = {}
-    seen = {src}
+    # Vertex ids are dense ``0..n-1`` (sequential assignment, no removal), so
+    # the search state lives in flat arrays instead of dicts/sets.
+    n = net.num_vertices
+    parent_v: list[VertexId] = [-1] * n
+    parent_l: list[Link | None] = [None] * n
+    seen = bytearray(n)
+    seen[src] = 1
     frontier = deque([src])
     while frontier:
         u = frontier.popleft()
-        for link, v in sorted(net.out_links(u), key=lambda lv: lv[0].lid):
-            if v in seen:
+        for link, v in net.sorted_out_links(u):
+            if seen[v]:
                 continue
-            seen.add(v)
-            parent[v] = (u, link)
+            seen[v] = 1
+            parent_v[v] = u
+            parent_l[v] = link
             if v == dst:
                 frontier.clear()
                 break
             frontier.append(v)
-    if dst not in parent:
+    if parent_l[dst] is None:
         raise RoutingError(
             f"no route from processor {src} to {dst} in topology {net.name!r}"
         )
     route: Route = []
     cur = dst
     while cur != src:
-        prev, link = parent[cur]
-        route.append(link)
-        cur = prev
+        route.append(parent_l[cur])
+        cur = parent_v[cur]
     route.reverse()
     if OBS.on:
         OBS.metrics.counter("routing.bfs_routes").inc()
@@ -82,12 +87,18 @@ def bfs_route(net: NetworkTopology, src: VertexId, dst: VertexId) -> Route:
     return route
 
 
+#: label used for unlabeled vertices; module-level so identity comparison
+#: distinguishes "never labeled" without allocating per relaxation
+_UNLABELED: tuple[float, int] = (float("inf"), 0)
+
+
 def dijkstra_route(
     net: NetworkTopology,
     src: VertexId,
     dst: VertexId,
     ready_time: float,
     probe: LinkProbe,
+    lower_bound: LinkProbe | None = None,
 ) -> Route:
     """Contention-aware route: minimize the communication's arrival time.
 
@@ -97,6 +108,22 @@ def dijkstra_route(
     which holds for every insertion policy in :mod:`repro.linksched`.  Under
     that assumption this is a standard label-setting Dijkstra on arrival
     times.
+
+    ``lower_bound(link, t)``, when given, must return a value ``<=``
+    ``probe(link, t)`` (typically the contention-free ``t + cost / speed``).
+    When even the bound cannot improve the target vertex's current label,
+    the (much more expensive) ``probe`` is skipped.  Because the actual
+    arrival can only be later, the skipped relaxation could never have
+    updated the label — routes are unchanged.  The bound also prunes
+    against the **destination's** current label: an update whose bound is
+    *strictly* above it would give its target a label that pops only after
+    ``dst``, where the search stops, so skipping it changes neither the
+    popped-vertex sequence nor the returned route (ties are never pruned
+    this way — an equal-arrival label with fewer hops can still pop first
+    and matter).  Against an unlabeled target the bound alone can never
+    prune, so it is skipped there — except while observability is on,
+    where the callable is invoked on every relaxation so callers may hang
+    per-relaxation bookkeeping (probe counters) on it.
 
     Equal arrival times are broken toward **fewer hops**: with cut-through
     communication an idle detour often finishes exactly when the direct
@@ -109,59 +136,86 @@ def dijkstra_route(
         return []
     if ready_time < 0:
         raise RoutingError(f"negative ready time {ready_time}")
-    dist: dict[VertexId, tuple[float, int]] = {src: (ready_time, 0)}
-    parent: dict[VertexId, tuple[VertexId, Link]] = {}
-    done: set[VertexId] = set()
+    # Vertex ids are dense ``0..n-1`` (sequential assignment, no removal), so
+    # labels, parents, and the done flags live in flat arrays — the relax
+    # loop's inner reads are list indexing instead of dict/set lookups.
+    n = net.num_vertices
+    inf = _UNLABELED[0]
+    dist_t: list[float] = [inf] * n
+    dist_h: list[int] = [0] * n
+    parent_v: list[VertexId] = [-1] * n
+    parent_l: list[Link | None] = [None] * n
+    done = bytearray(n)
+    dist_t[src] = ready_time
     # Heap entries carry (arrival, hops, vertex id); hops then vertex id are
     # the deterministic tie-breaks.
     heap: list[tuple[float, int, VertexId]] = [(ready_time, 0, src)]
     relaxations = 0
+    cutoffs = 0
+    out_links = net.sorted_out_links
+    obs_on = OBS.on
+    has_bound = lower_bound is not None
+    best_dst = inf
     while heap:
         d, hops, u = heappop(heap)
-        if u in done:
+        if done[u]:
             continue
-        done.add(u)
+        done[u] = 1
         if u == dst:
             break
-        for link, v in sorted(net.out_links(u), key=lambda lv: lv[0].lid):
-            if v in done:
+        nh = hops + 1
+        for link, v in out_links(u):
+            if done[v]:
                 continue
             relaxations += 1
+            cur_t = dist_t[v]
+            if has_bound and (cur_t != inf or best_dst != inf or obs_on):
+                # Tuple-free ``(lower_bound, nh) >= (cur_t, cur_h)``
+                # comparison, plus the strictly-worse-than-destination prune
+                # (see docstring).
+                lb = lower_bound(link, d)
+                if lb > cur_t or (lb == cur_t and nh >= dist_h[v]) or lb > best_dst:
+                    cutoffs += 1
+                    continue
             arrival = probe(link, d)
             if arrival < d:
                 raise RoutingError(
                     f"probe on link {link.lid} returned arrival {arrival} earlier "
                     f"than availability {d}"
                 )
-            label = (arrival, hops + 1)
-            if label < dist.get(v, (float("inf"), 0)):
-                dist[v] = label
-                parent[v] = (u, link)
-                heappush(heap, (arrival, hops + 1, v))
-    if dst not in parent:
+            if arrival < cur_t or (arrival == cur_t and nh < dist_h[v]):
+                dist_t[v] = arrival
+                dist_h[v] = nh
+                parent_v[v] = u
+                parent_l[v] = link
+                heappush(heap, (arrival, nh, v))
+                if v == dst:
+                    best_dst = arrival
+    if parent_l[dst] is None:
         raise RoutingError(
             f"no route from processor {src} to {dst} in topology {net.name!r}"
         )
     route: Route = []
     cur = dst
     while cur != src:
-        prev, link = parent[cur]
-        route.append(link)
-        cur = prev
+        route.append(parent_l[cur])
+        cur = parent_v[cur]
     route.reverse()
     if OBS.on:
         OBS.metrics.counter("routing.dijkstra_routes").inc()
         OBS.metrics.counter("routing.relaxations").inc(relaxations)
+        if cutoffs:
+            OBS.metrics.counter("routing.probe_cutoffs").inc(cutoffs)
         OBS.metrics.histogram("routing.route_length").observe(float(len(route)))
         OBS.emit(
             "route_probed",
-            t=dist[dst][0],
+            t=dist_t[dst],
             policy="dijkstra",
             src=src,
             dst=dst,
             hops=len(route),
             relaxations=relaxations,
-            arrival=dist[dst][0],
+            arrival=dist_t[dst],
             links=[l.lid for l in route],
         )
     return route

@@ -81,6 +81,11 @@ class NetworkTopology:
     _links: dict[LinkId, Link] = field(default_factory=dict)
     #: vertex -> list of (link, neighbour vertex) choices for routing
     _adj: dict[VertexId, list[tuple[Link, VertexId]]] = field(default_factory=dict)
+    #: lazily built ``_adj`` with every choice list sorted by link id
+    #: (deterministic routing order); invalidated by any topology mutation
+    _sorted_adj: dict[VertexId, list[tuple[Link, VertexId]]] | None = field(
+        default=None, repr=False
+    )
     _next_vid: int = 0
     _next_lid: int = 0
 
@@ -90,6 +95,7 @@ class NetworkTopology:
         v = Vertex(self._next_vid, "processor", float(speed), name or f"P{self._next_vid}")
         self._vertices[v.vid] = v
         self._adj[v.vid] = []
+        self._sorted_adj = None
         self._next_vid += 1
         return v
 
@@ -97,6 +103,7 @@ class NetworkTopology:
         v = Vertex(self._next_vid, "switch", 1.0, name or f"S{self._next_vid}")
         self._vertices[v.vid] = v
         self._adj[v.vid] = []
+        self._sorted_adj = None
         self._next_vid += 1
         return v
 
@@ -126,6 +133,7 @@ class NetworkTopology:
         self._require_vertex(vid)
         if uid == vid:
             raise TopologyError(f"cannot connect vertex {uid} to itself")
+        self._sorted_adj = None
         if duplex == "full":
             fwd = Link(self._next_lid, float(speed), uid, vid, "ptp", name=name or f"L{self._next_lid}")
             self._next_lid += 1
@@ -154,6 +162,7 @@ class NetworkTopology:
             raise TopologyError("bus member list contains duplicates")
         for vid in ids:
             self._require_vertex(vid)
+        self._sorted_adj = None
         link = Link(
             self._next_lid, float(speed), ids[0], ids[1], "bus", members=ids,
             name=name or f"BUS{self._next_lid}",
@@ -201,6 +210,25 @@ class NetworkTopology:
         """Routing choices from ``vid``: (link, neighbour) pairs."""
         self._require_vertex(vid)
         return self._adj[vid]
+
+    def sorted_out_links(self, vid: VertexId) -> list[tuple[Link, VertexId]]:
+        """:meth:`out_links` sorted by link id (the routing tie-break order).
+
+        Built once for the whole topology on first use and invalidated by any
+        mutation, so route searches stop re-sorting adjacency lists on every
+        frontier pop / relaxation.
+        """
+        cache = self._sorted_adj
+        if cache is None:
+            cache = {
+                v: sorted(choices, key=lambda lv: lv[0].lid)
+                for v, choices in self._adj.items()
+            }
+            self._sorted_adj = cache
+        try:
+            return cache[vid]
+        except KeyError:
+            raise TopologyError(f"unknown vertex id {vid}") from None
 
     def mean_link_speed(self) -> float:
         """The paper's ``MLS``: average transfer speed over all links."""

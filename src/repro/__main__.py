@@ -12,6 +12,9 @@ Commands:
   per-phase cost breakdown (routing / insertion / processor selection),
 - ``ablation`` — run one of the named design-choice ablations,
 - ``export``   — schedule a workload and write SVG / Chrome-trace / JSON,
+- ``lint``     — run the repo-specific static-analysis rules (determinism,
+  float discipline, obs guards, transaction safety; see
+  ``docs/static_analysis.md``),
 - ``info``     — library, algorithm and registry overview.
 """
 
@@ -188,6 +191,12 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.analysis.cli import run
+
+    return run(args)
+
+
 def _cmd_info(args: argparse.Namespace) -> int:  # noqa: ARG001
     from repro.core import SCHEDULERS
     from repro.network.builders import TOPOLOGY_BUILDERS
@@ -276,6 +285,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--procs", type=int, default=8)
     p.add_argument("--seed", type=int, default=1)
     p.set_defaults(fn=_cmd_export)
+
+    p = sub.add_parser("lint", help="run the repo's static-analysis rules")
+    from repro.analysis.cli import add_arguments as add_lint_arguments
+
+    add_lint_arguments(p)
+    p.set_defaults(fn=_cmd_lint)
 
     p = sub.add_parser("info", help="library overview")
     p.set_defaults(fn=_cmd_info)

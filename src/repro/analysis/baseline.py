@@ -1,0 +1,157 @@
+"""Tracked-suppression baseline: ``.repro-lint-baseline.json``.
+
+Inline ``# repro-lint: disable=...`` comments fit one-line justifications;
+findings that are *intentional policy* (e.g. the hoisted state internals in
+the Lemma-2 slack scan) deserve a reviewable, documented record instead of
+scattered comments.  The baseline file holds those: each entry names the
+file, rule, offending line content, and a required human reason.
+
+Matching is content-based — ``(path, rule, stripped line text)`` — so
+entries survive unrelated line-number drift but go **stale** the moment the
+line itself changes, forcing a re-decision.  ``repro lint`` fails on stale
+entries so the file can never rot.  ``--fail-on-baseline`` additionally
+fails on matched entries, for burn-down runs.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import Finding
+
+#: Default baseline location, resolved relative to the working directory.
+DEFAULT_BASELINE = ".repro-lint-baseline.json"
+
+_FORMAT_VERSION = 1
+
+
+@dataclass(frozen=True, slots=True)
+class BaselineEntry:
+    """One documented suppression: where, which rule, what line, and why."""
+
+    path: str
+    rule: str
+    content: str
+    reason: str = ""
+    count: int = 1
+
+    @property
+    def key(self) -> tuple[str, str, str]:
+        return (self.path, self.rule, self.content)
+
+    def to_dict(self) -> dict[str, object]:
+        doc: dict[str, object] = {
+            "path": self.path,
+            "rule": self.rule,
+            "content": self.content,
+            "reason": self.reason,
+        }
+        if self.count != 1:
+            doc["count"] = self.count
+        return doc
+
+
+@dataclass(slots=True)
+class BaselineMatch:
+    """Partition of a lint run against a baseline."""
+
+    new: list[Finding] = field(default_factory=list)
+    baselined: list[Finding] = field(default_factory=list)
+    #: entries (with residual counts) that matched nothing — stale, fix or drop
+    stale: list[BaselineEntry] = field(default_factory=list)
+
+
+class Baseline:
+    """A set of documented suppressions with occurrence budgets."""
+
+    def __init__(self, entries: list[BaselineEntry] | None = None) -> None:
+        merged: dict[tuple[str, str, str], BaselineEntry] = {}
+        for entry in entries or []:
+            prior = merged.get(entry.key)
+            if prior is not None:
+                entry = BaselineEntry(
+                    path=entry.path,
+                    rule=entry.rule,
+                    content=entry.content,
+                    reason=prior.reason or entry.reason,
+                    count=prior.count + entry.count,
+                )
+            merged[entry.key] = entry
+        self.entries: list[BaselineEntry] = sorted(
+            merged.values(), key=lambda e: (e.path, e.rule, e.content)
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, "r", encoding="utf-8") as fh:
+            doc = json.load(fh)
+        if not isinstance(doc, dict) or doc.get("version") != _FORMAT_VERSION:
+            raise ValueError(
+                f"{path}: unsupported baseline format "
+                f"(want version {_FORMAT_VERSION})"
+            )
+        entries = [
+            BaselineEntry(
+                path=str(e["path"]),
+                rule=str(e["rule"]),
+                content=str(e["content"]),
+                reason=str(e.get("reason", "")),
+                count=int(e.get("count", 1)),
+            )
+            for e in doc.get("entries", [])
+        ]
+        return cls(entries)
+
+    @classmethod
+    def from_findings(cls, findings: list[Finding], reason: str = "") -> "Baseline":
+        return cls(
+            [
+                BaselineEntry(
+                    path=f.path, rule=f.rule, content=f.snippet, reason=reason
+                )
+                for f in findings
+            ]
+        )
+
+    def save(self, path: str) -> None:
+        doc = {
+            "version": _FORMAT_VERSION,
+            "entries": [e.to_dict() for e in self.entries],
+        }
+        tmp = path + ".tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        os.replace(tmp, path)
+
+    def apply(self, findings: list[Finding]) -> BaselineMatch:
+        """Split ``findings`` into new vs. baselined; surface stale entries."""
+        budget: dict[tuple[str, str, str], int] = {
+            e.key: e.count for e in self.entries
+        }
+        match = BaselineMatch()
+        for finding in findings:
+            key = finding.fingerprint
+            if budget.get(key, 0) > 0:
+                budget[key] -= 1
+                match.baselined.append(finding)
+            else:
+                match.new.append(finding)
+        for entry in self.entries:
+            residual = budget.get(entry.key, 0)
+            if residual > 0:
+                match.stale.append(
+                    BaselineEntry(
+                        path=entry.path,
+                        rule=entry.rule,
+                        content=entry.content,
+                        reason=entry.reason,
+                        count=residual,
+                    )
+                )
+        return match

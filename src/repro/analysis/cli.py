@@ -1,0 +1,170 @@
+"""``repro lint`` — the static-analysis CLI surface.
+
+Editor-friendly by construction: findings go to stdout as stable
+``file:line:col RULE_ID message`` lines (flake8-shaped, so error-matchers
+work), summaries and diagnostics go to stderr, and the exit code is 0 only
+when the tree is clean.  ``--format json`` emits the full machine report.
+
+Exit codes: 0 clean · 1 findings (or stale baseline entries, or matched
+baseline entries under ``--fail-on-baseline``) · 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.analysis.baseline import DEFAULT_BASELINE, Baseline, BaselineMatch
+from repro.analysis.engine import LintResult, lint_paths, select_rules
+from repro.analysis.findings import Finding
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``lint`` arguments to a (sub)parser."""
+    parser.add_argument(
+        "paths", nargs="*", default=["src"], metavar="PATH",
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--select", action="append", default=None, metavar="IDS",
+        help="comma-separated rule ids to run exclusively (repeatable)",
+    )
+    parser.add_argument(
+        "--ignore", action="append", default=None, metavar="IDS",
+        help="comma-separated rule ids to skip (repeatable)",
+    )
+    parser.add_argument(
+        "--format", choices=("text", "json"), default="text",
+        help="output format (text: file:line:col RULE message)",
+    )
+    parser.add_argument(
+        "--baseline", default=None, metavar="FILE",
+        help=f"baseline of documented suppressions (default: {DEFAULT_BASELINE} "
+        "when present)",
+    )
+    parser.add_argument(
+        "--no-baseline", action="store_true",
+        help="ignore any baseline file; report every finding",
+    )
+    parser.add_argument(
+        "--write-baseline", action="store_true",
+        help="write current findings to the baseline file and exit 0 "
+        "(fill in each entry's `reason` before committing)",
+    )
+    parser.add_argument(
+        "--fail-on-baseline", action="store_true",
+        help="exit non-zero even when findings are covered by the baseline "
+        "(burn-down mode)",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="describe the registered rules and exit",
+    )
+
+
+def _split_ids(values: list[str] | None) -> list[str] | None:
+    if values is None:
+        return None
+    out: list[str] = []
+    for value in values:
+        out.extend(part for part in value.split(",") if part.strip())
+    return out
+
+
+def _print_rules() -> None:
+    from repro.analysis.engine import all_rules
+    from repro.analysis.rules import FAMILIES
+
+    for rule in all_rules():
+        family = FAMILIES.get(rule.rule_id[:3], "other")
+        print(f"{rule.rule_id}  {rule.name}  [{family}]")
+        print(f"    scope: {', '.join(rule.include)}"
+              + (f"  (except {', '.join(rule.exclude)})" if rule.exclude else ""))
+        print(f"    {rule.summary}")
+
+
+def _json_report(
+    result: LintResult, match: BaselineMatch, new: list[Finding]
+) -> dict[str, object]:
+    return {
+        "findings": [f.to_dict() for f in new],
+        "baselined": [f.to_dict() for f in match.baselined],
+        "suppressed": [f.to_dict() for f in result.suppressed],
+        "stale_baseline": [e.to_dict() for e in match.stale],
+        "summary": {
+            "files": result.files,
+            "findings": len(new),
+            "baselined": len(match.baselined),
+            "suppressed": len(result.suppressed),
+            "stale_baseline": len(match.stale),
+        },
+    }
+
+
+def run(args: argparse.Namespace) -> int:
+    if args.list_rules:
+        _print_rules()
+        return 0
+    try:
+        rules = select_rules(_split_ids(args.select), _split_ids(args.ignore))
+    except ValueError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+    if not rules:
+        print("repro lint: no rules selected", file=sys.stderr)
+        return 2
+    try:
+        result = lint_paths(args.paths, rules)
+    except OSError as exc:
+        print(f"repro lint: {exc}", file=sys.stderr)
+        return 2
+
+    import os
+
+    baseline_path = args.baseline or DEFAULT_BASELINE
+    if args.write_baseline:
+        Baseline.from_findings(result.findings).save(baseline_path)
+        print(
+            f"wrote {len(result.findings)} finding(s) to {baseline_path}; "
+            "add a `reason` to each entry before committing",
+            file=sys.stderr,
+        )
+        return 0
+    baseline = Baseline()
+    if not args.no_baseline and (args.baseline or os.path.exists(baseline_path)):
+        try:
+            baseline = Baseline.load(baseline_path)
+        except (OSError, ValueError, KeyError) as exc:
+            print(f"repro lint: bad baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+    match = baseline.apply(result.findings)
+    new = match.new
+
+    if args.format == "json":
+        print(json.dumps(_json_report(result, match, new), indent=2, sort_keys=True))
+    else:
+        for finding in new:
+            print(finding.format())
+        for entry in match.stale:
+            print(
+                f"repro lint: stale baseline entry ({entry.rule} in {entry.path}: "
+                f"{entry.content!r} x{entry.count}) — the line changed or the "
+                "finding is gone; update the baseline",
+                file=sys.stderr,
+            )
+        print(
+            f"{len(new)} finding(s), {len(match.baselined)} baselined, "
+            f"{len(result.suppressed)} suppressed in {result.files} file(s)",
+            file=sys.stderr,
+        )
+    if new or match.stale:
+        return 1
+    if args.fail_on_baseline and match.baselined:
+        print(
+            f"repro lint: --fail-on-baseline: {len(match.baselined)} "
+            "baselined finding(s) remain",
+            file=sys.stderr,
+        )
+        return 1
+    return 0

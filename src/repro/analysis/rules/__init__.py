@@ -1,0 +1,31 @@
+"""Built-in lint rules; importing this package populates the registry.
+
+Rule families (ids are ``FAMILY###``):
+
+- ``DET`` — determinism: no unordered iteration, unseeded RNGs, or
+  wall-clock reads where schedule bytes are decided,
+- ``FLT`` — float discipline: no exact ``==``/``!=`` on float expressions
+  outside the audited tolerance helpers,
+- ``OBS`` — obs-off discipline: hot-path emissions behind ``OBS.on``,
+- ``TXN`` — transaction safety for the link-schedule undo log.
+
+See ``docs/static_analysis.md`` for each rule's paper/PR rationale and how
+to add a new one.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.rules import (  # noqa: F401  (import registers the rules)
+    determinism,
+    floats,
+    obsguard,
+    transactions,
+)
+
+#: Family prefix -> human name, for ``repro lint --list-rules`` grouping.
+FAMILIES: dict[str, str] = {
+    "DET": "determinism",
+    "FLT": "float discipline",
+    "OBS": "observability guards",
+    "TXN": "transaction safety",
+}

@@ -1,0 +1,399 @@
+"""Determinism rules: unordered iteration, unseeded RNGs, wall-clock reads.
+
+The reproduction's headline guarantee (PR 2) is that schedules and figures
+are **bit-identical** across runs, machines, and serial/parallel execution.
+Three things silently break that in Python: iterating a ``set`` (hash order
+varies between processes when ``PYTHONHASHSEED`` differs or when ids do),
+touching a process-global or unseeded RNG instead of the seed plumbing in
+:mod:`repro.utils.rng`, and reading the wall clock inside a scheduling
+decision.  Each rule here turns one of those hazards into a machine-checked
+finding.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.engine import (
+    LintContext,
+    Rule,
+    attr_chain,
+    register,
+    scopes,
+    walk_scope,
+)
+
+#: Directories whose iteration order / clock reads decide schedule bytes.
+SCHEDULING_DIRS = (
+    "repro/core",
+    "repro/linksched",
+    "repro/network",
+    "repro/procsched",
+    "repro/taskgraph",
+)
+
+# -- DET001: set iteration -----------------------------------------------------
+
+_SET_CALLS = {"set", "frozenset"}
+_SET_METHODS = {"union", "intersection", "difference", "symmetric_difference", "copy"}
+_SET_ANNOTATIONS = {"set", "frozenset", "Set", "FrozenSet", "AbstractSet", "MutableSet"}
+#: Consumers whose result does not depend on element order.
+_ORDER_SAFE_CALLS = {"sorted", "min", "max", "sum", "any", "all", "len", "set", "frozenset"}
+#: Consumers that materialize iteration order into an ordered container.
+_ORDER_LEAKING_CALLS = {"list", "tuple", "enumerate", "iter", "reversed"}
+
+
+def _is_set_annotation(node: ast.expr) -> bool:
+    if isinstance(node, ast.Name):
+        return node.id in _SET_ANNOTATIONS
+    if isinstance(node, ast.Subscript):
+        return _is_set_annotation(node.value)
+    if isinstance(node, ast.Attribute):
+        return node.attr in _SET_ANNOTATIONS
+    return False
+
+
+def _is_set_expr(node: ast.expr, set_names: set[str]) -> bool:
+    """Whether ``node`` is syntactically known to evaluate to a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Name):
+        return node.id in set_names
+    if isinstance(node, ast.Call):
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in _SET_CALLS:
+            return True
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in _SET_METHODS
+            and _is_set_expr(func.value, set_names)
+        ):
+            return True
+        return False
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+    ):
+        return _is_set_expr(node.left, set_names) and _is_set_expr(
+            node.right, set_names
+        )
+    if isinstance(node, ast.IfExp):
+        return _is_set_expr(node.body, set_names) and _is_set_expr(
+            node.orelse, set_names
+        )
+    return False
+
+
+def _set_names(scope: ast.AST) -> set[str]:
+    """Names bound to set-typed values in ``scope`` (local flow inference).
+
+    Sources: parameters and variables annotated ``set[...]`` / ``Set[...]``,
+    and plain assignments whose right-hand side is a known set expression.
+    Runs to a fixpoint so ``b = a`` chains resolve.  Over-approximate on
+    purpose: a rebinding to a non-set later in the function does not clear
+    the name (suppress the finding if that ever matters).
+    """
+    names: set[str] = set()
+    if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+        args = scope.args
+        for arg in (*args.posonlyargs, *args.args, *args.kwonlyargs):
+            if arg.annotation is not None and _is_set_annotation(arg.annotation):
+                names.add(arg.arg)
+    changed = True
+    while changed:
+        changed = False
+        for node in walk_scope(scope):
+            target: ast.expr | None = None
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                is_set = node.value is not None and _is_set_expr(node.value, names)
+            elif isinstance(node, ast.AnnAssign):
+                target = node.target
+                is_set = _is_set_annotation(node.annotation)
+            else:
+                continue
+            if is_set and isinstance(target, ast.Name) and target.id not in names:
+                names.add(target.id)
+                changed = True
+    return names
+
+
+@register
+class SetIterationRule(Rule):
+    """Iterating a set leaks hash order into whatever consumes the loop."""
+
+    rule_id = "DET001"
+    name = "set-iteration"
+    summary = "iteration over an unordered set/frozenset without sorted(...)"
+    rationale = (
+        "Set iteration order depends on element hashes and insertion history, "
+        "which vary across processes; any schedule decision or serialized "
+        "output derived from it breaks the bit-identical guarantee (PR 2)."
+    )
+    include = SCHEDULING_DIRS
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> None:
+        for scope in scopes(tree):
+            names = _set_names(scope)
+            for node in walk_scope(scope):
+                self._check_node(node, names, ctx)
+
+    def _check_node(self, node: ast.AST, names: set[str], ctx: LintContext) -> None:
+        if isinstance(node, ast.For) and _is_set_expr(node.iter, names):
+            ctx.report(
+                self,
+                node,
+                "iteration over an unordered set; wrap the iterable in sorted(...)",
+            )
+        elif isinstance(node, (ast.ListComp, ast.DictComp, ast.GeneratorExp)):
+            # SetComp over a set is order-insensitive (set in, set out) and
+            # exempt; list/dict comprehensions materialize the order, and a
+            # generator leaks it unless it feeds an order-safe consumer.
+            for gen in node.generators:
+                if not _is_set_expr(gen.iter, names):
+                    continue
+                if isinstance(node, ast.GeneratorExp) and self._feeds_order_safe(
+                    node, ctx
+                ):
+                    continue
+                ctx.report(
+                    self,
+                    node,
+                    "comprehension over an unordered set; iterate sorted(...) "
+                    "or produce a set",
+                )
+        elif isinstance(node, ast.Call):
+            func = node.func
+            fname = ""
+            if isinstance(func, ast.Name):
+                fname = func.id
+            elif isinstance(func, ast.Attribute) and func.attr == "join":
+                fname = "join"
+            if (
+                fname
+                and (fname in _ORDER_LEAKING_CALLS or fname == "join")
+                and node.args
+                and _is_set_expr(node.args[0], names)
+            ):
+                ctx.report(
+                    self,
+                    node,
+                    f"{fname}(...) materializes unordered set iteration; "
+                    "use sorted(...)",
+                )
+
+    @staticmethod
+    def _feeds_order_safe(node: ast.GeneratorExp, ctx: LintContext) -> bool:
+        parent = ctx.parent(node)
+        return (
+            isinstance(parent, ast.Call)
+            and isinstance(parent.func, ast.Name)
+            and parent.func.id in _ORDER_SAFE_CALLS
+            and node in parent.args
+        )
+
+
+# -- DET002: unseeded / process-global RNG -------------------------------------
+
+#: numpy.random attributes that construct explicit generators (allowed when
+#: given a seed; ``default_rng``/``RandomState`` without one are flagged).
+_NP_CONSTRUCTORS = {"default_rng", "RandomState"}
+_NP_SEED_TYPES = {"Generator", "SeedSequence", "BitGenerator", "PCG64", "MT19937", "Philox", "SFC64"}
+
+
+def _is_unseeded_call(call: ast.Call) -> bool:
+    if not call.args and not call.keywords:
+        return True
+    return bool(
+        call.args
+        and isinstance(call.args[0], ast.Constant)
+        and call.args[0].value is None
+    )
+
+
+@register
+class UnseededRngRule(Rule):
+    """Randomness must flow through the ``repro.utils.rng`` seed plumbing."""
+
+    rule_id = "DET002"
+    name = "unseeded-rng"
+    summary = "process-global random module, legacy np.random.*, or unseeded default_rng()"
+    rationale = (
+        "Every stochastic entry point takes `rng: int | Generator | None` and "
+        "normalizes it via repro.utils.rng.as_rng; a stray random.* call or "
+        "np.random.default_rng() with no seed makes experiments "
+        "unreproducible from their recorded config (PR 2 result cache keys)."
+    )
+    include = ("repro",)
+    exclude = ("repro/utils/rng.py",)
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> None:
+        random_modules: set[str] = set()
+        numpy_modules: set[str] = set()
+        np_random_modules: set[str] = set()
+        random_functions: set[str] = set()
+        np_constructor_aliases: dict[str, str] = {}
+        np_global_aliases: dict[str, str] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    asname = alias.asname or alias.name.split(".", 1)[0]
+                    if alias.name == "random":
+                        random_modules.add(asname)
+                    elif alias.name == "numpy":
+                        numpy_modules.add(asname)
+                    elif alias.name == "numpy.random" and alias.asname:
+                        np_random_modules.add(alias.asname)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "random":
+                    random_functions.update(a.asname or a.name for a in node.names)
+                elif node.module == "numpy":
+                    for alias in node.names:
+                        if alias.name == "random":
+                            np_random_modules.add(alias.asname or "random")
+                elif node.module == "numpy.random":
+                    for alias in node.names:
+                        bound = alias.asname or alias.name
+                        if alias.name in _NP_CONSTRUCTORS:
+                            np_constructor_aliases[bound] = alias.name
+                        elif alias.name not in _NP_SEED_TYPES:
+                            np_global_aliases[bound] = alias.name
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name):
+                if func.id in random_functions:
+                    ctx.report(
+                        self,
+                        node,
+                        f"{func.id}() uses the process-global random module; "
+                        "thread a seeded Generator from repro.utils.rng",
+                    )
+                elif func.id in np_constructor_aliases and _is_unseeded_call(node):
+                    ctx.report(
+                        self,
+                        node,
+                        f"unseeded {np_constructor_aliases[func.id]}(); pass the "
+                        "experiment seed (see repro.utils.rng.as_rng)",
+                    )
+                elif func.id in np_global_aliases:
+                    ctx.report(
+                        self,
+                        node,
+                        f"np.random.{np_global_aliases[func.id]} mutates the "
+                        "process-global legacy RNG; use a seeded Generator",
+                    )
+                continue
+            chain = attr_chain(func)
+            if not chain:
+                continue
+            tail: str | None = None
+            if chain[0] in random_modules and len(chain) == 2:
+                if chain[1] == "Random" and (node.args or node.keywords):
+                    continue  # random.Random(seed) is an explicit local stream
+                ctx.report(
+                    self,
+                    node,
+                    f"random.{chain[1]}() uses the process-global random "
+                    "module; thread a seeded Generator from repro.utils.rng",
+                )
+                continue
+            if chain[0] in numpy_modules and len(chain) == 3 and chain[1] == "random":
+                tail = chain[2]
+            elif chain[0] in np_random_modules and len(chain) == 2:
+                tail = chain[1]
+            if tail is None:
+                continue
+            if tail in _NP_CONSTRUCTORS:
+                if _is_unseeded_call(node):
+                    ctx.report(
+                        self,
+                        node,
+                        f"unseeded np.random.{tail}(); pass the experiment "
+                        "seed (see repro.utils.rng.as_rng)",
+                    )
+            elif tail not in _NP_SEED_TYPES:
+                ctx.report(
+                    self,
+                    node,
+                    f"np.random.{tail} mutates the process-global legacy RNG; "
+                    "use a seeded Generator",
+                )
+
+
+# -- DET003: wall-clock reads in scheduling code -------------------------------
+
+_WALL_TIME_FUNCS = {"time", "time_ns", "localtime", "gmtime", "ctime", "asctime"}
+_WALL_DATETIME_FUNCS = {"now", "utcnow", "today"}
+_DATETIME_NAMES = {"datetime", "date"}
+
+
+@register
+class WallClockRule(Rule):
+    """Scheduling decisions must be functions of their inputs, not the clock."""
+
+    rule_id = "DET003"
+    name = "wall-clock"
+    summary = "time.time()/datetime.now()-style wall-clock read in scheduling code"
+    rationale = (
+        "Schedule instants are model time (paper Section 2); reading host "
+        "wall-clock time inside core/linksched/network/procsched makes runs "
+        "machine-dependent.  Duration profiling belongs in repro.obs "
+        "(perf_counter spans), which is exempt."
+    )
+    include = SCHEDULING_DIRS
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> None:
+        time_modules: set[str] = set()
+        time_functions: set[str] = set()
+        datetime_roots: set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    asname = alias.asname or alias.name.split(".", 1)[0]
+                    if alias.name == "time":
+                        time_modules.add(asname)
+                    elif alias.name == "datetime":
+                        datetime_roots.add(asname)
+            elif isinstance(node, ast.ImportFrom):
+                if node.module == "time":
+                    time_functions.update(
+                        a.asname or a.name
+                        for a in node.names
+                        if a.name in _WALL_TIME_FUNCS
+                    )
+                elif node.module == "datetime":
+                    datetime_roots.update(
+                        a.asname or a.name
+                        for a in node.names
+                        if a.name in _DATETIME_NAMES
+                    )
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in time_functions:
+                ctx.report(
+                    self,
+                    node,
+                    f"wall-clock call {func.id}(); scheduling code must not "
+                    "read host time",
+                )
+                continue
+            chain = attr_chain(func)
+            if not chain or len(chain) < 2:
+                continue
+            if chain[0] in time_modules and chain[-1] in _WALL_TIME_FUNCS:
+                ctx.report(
+                    self,
+                    node,
+                    f"wall-clock call time.{chain[-1]}(); scheduling code "
+                    "must not read host time",
+                )
+            elif chain[0] in datetime_roots and chain[-1] in _WALL_DATETIME_FUNCS:
+                ctx.report(
+                    self,
+                    node,
+                    f"wall-clock call {'.'.join(chain)}(); scheduling code "
+                    "must not read host time",
+                )

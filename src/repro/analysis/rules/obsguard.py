@@ -1,0 +1,226 @@
+"""OBS001: observability emissions on hot paths must be ``OBS.on``-guarded.
+
+PR 1 made instrumentation free when disabled by guarding every emission site
+with a single attribute test, and PR 3's fused fast paths rely on that
+discipline: an unguarded ``OBS.emit`` or counter bump builds its payload
+(string formatting, dict allocation) on every probe even when observability
+is off, quietly costing the >2x speedups back.
+
+The rule recognizes the repo's guard idioms:
+
+- ``if OBS.on: ...`` (and boolean tests that mention ``OBS.on``),
+- a local alias — ``observing = OBS.on`` / ``obs_on = OBS.on`` — tested
+  later (``if observing: ...``),
+- the early-exit form ``if not OBS.on: return ...`` guarding the rest of
+  the block,
+- a private helper whose every call site *within the module* is guarded
+  (e.g. ``_attach_stats`` in ``core/base.py``) is treated as guarded.
+
+Cheap control calls (``OBS.bus.quiet()/mark()/since()``, snapshots) are
+exempt; ``span()`` is exempt because the profiler checks its own flag.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.engine import LintContext, Rule, attr_chain, register
+
+_METRIC_FACTORIES = {"counter", "gauge", "histogram"}
+
+
+def _emission_label(call: ast.Call, metric_aliases: set[str]) -> str | None:
+    """A display label when ``call`` is an observability emission, else None."""
+    chain = attr_chain(call.func)
+    if not chain:
+        return None
+    if chain[0] == "OBS":
+        rest = chain[1:]
+        if rest == ["emit"]:
+            return "OBS.emit"
+        if rest == ["bus", "emit"]:
+            return "OBS.bus.emit"
+        if len(rest) == 2 and rest[0] == "metrics" and rest[1] in _METRIC_FACTORIES:
+            return f"OBS.metrics.{rest[1]}"
+        return None
+    if chain[0] in metric_aliases and len(chain) == 2 and chain[1] in _METRIC_FACTORIES:
+        return f"{chain[0]}.{chain[1]}"
+    return None
+
+
+def _mentions_guard(expr: ast.expr, guard_names: set[str]) -> bool:
+    for node in ast.walk(expr):
+        if (
+            isinstance(node, ast.Attribute)
+            and node.attr == "on"
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "OBS"
+        ):
+            return True
+        if isinstance(node, ast.Name) and node.id in guard_names:
+            return True
+    return False
+
+
+def _is_negated(test: ast.expr) -> bool:
+    return isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not)
+
+
+def _terminates(body: list[ast.stmt]) -> bool:
+    return bool(body) and isinstance(
+        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
+    )
+
+
+@dataclass
+class _ScopeScan:
+    """Emission and call sites found in one function (or the module body)."""
+
+    emissions: list[tuple[ast.Call, str, bool]] = field(default_factory=list)
+    #: bare callee name -> call-site guarded flags (module-local resolution)
+    calls: list[tuple[str, bool]] = field(default_factory=list)
+
+
+class _Scanner:
+    """Walks one scope's statements tracking whether ``OBS.on`` dominates."""
+
+    def __init__(self, guard_names: set[str], metric_aliases: set[str]) -> None:
+        self.guard_names = guard_names
+        self.metric_aliases = metric_aliases
+        self.result = _ScopeScan()
+
+    def scan_block(self, stmts: list[ast.stmt], guarded: bool) -> None:
+        for stmt in stmts:
+            guarded = self.scan_stmt(stmt, guarded)
+
+    def scan_stmt(self, stmt: ast.stmt, guarded: bool) -> bool:
+        """Scan one statement; returns the guard state for its successors."""
+        if isinstance(stmt, ast.If) and _mentions_guard(stmt.test, self.guard_names):
+            negated = _is_negated(stmt.test)
+            self.scan_expr(stmt.test, guarded)
+            self.scan_block(stmt.body, guarded or not negated)
+            self.scan_block(stmt.orelse, guarded or negated)
+            if negated and not stmt.orelse and _terminates(stmt.body):
+                return True  # `if not OBS.on: return ...` guards the rest
+            return guarded
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return guarded  # nested scopes are analyzed separately
+        for value in ast.iter_child_nodes(stmt):
+            if isinstance(value, ast.stmt):
+                continue  # reached via the field lists below
+            if isinstance(value, ast.excepthandler):
+                if value.type is not None:
+                    self.scan_expr(value.type, guarded)
+                self.scan_block(value.body, guarded)
+            elif isinstance(value, ast.expr):
+                self.scan_expr(value, guarded)
+            elif isinstance(value, (ast.withitem, ast.keyword, ast.arguments)):
+                self.scan_expr_container(value, guarded)
+        for field_name, value in ast.iter_fields(stmt):
+            if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
+                self.scan_block(value, guarded)
+        return guarded
+
+    def scan_expr_container(self, node: ast.AST, guarded: bool) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.scan_expr(child, guarded)
+
+    def scan_expr(self, expr: ast.expr, guarded: bool) -> None:
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            label = _emission_label(node, self.metric_aliases)
+            if label is not None:
+                self.result.emissions.append((node, label, guarded))
+                continue
+            callee = self._bare_callee(node.func)
+            if callee is not None:
+                self.result.calls.append((callee, guarded))
+
+    @staticmethod
+    def _bare_callee(func: ast.expr) -> str | None:
+        if isinstance(func, ast.Name):
+            return func.id
+        if isinstance(func, ast.Attribute):
+            return func.attr
+        return None
+
+
+def _collect_aliases(body: list[ast.stmt]) -> tuple[set[str], set[str]]:
+    """``(guard aliases, OBS.metrics aliases)`` assigned anywhere in a scope."""
+    guard_names: set[str] = set()
+    metric_aliases: set[str] = set()
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if not (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                continue
+            target = node.targets[0].id
+            if _mentions_guard(node.value, set()):
+                guard_names.add(target)
+            chain = attr_chain(node.value)
+            if chain == ["OBS", "metrics"]:
+                metric_aliases.add(target)
+    return guard_names, metric_aliases
+
+
+@register
+class ObsGuardRule(Rule):
+    """Hot-path instrumentation must test ``OBS.on`` before building payloads."""
+
+    rule_id = "OBS001"
+    name = "unguarded-obs-emission"
+    summary = "observability emission on a hot path without an OBS.on guard"
+    rationale = (
+        "The obs-off discipline (PR 1/PR 3): disabled instrumentation must "
+        "cost one attribute test.  An unguarded emit/counter call allocates "
+        "its payload on every probe, regressing the fused fast paths."
+    )
+    include = ("repro/core", "repro/linksched", "repro/network", "repro/procsched")
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> None:
+        scans: dict[ast.AST, _ScopeScan] = {}
+        names: dict[ast.AST, str] = {}
+        functions = [
+            n
+            for n in ast.walk(tree)
+            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for func in functions:
+            guard_names, metric_aliases = _collect_aliases(func.body)
+            scanner = _Scanner(guard_names, metric_aliases)
+            scanner.scan_block(func.body, False)
+            scans[func] = scanner.result
+            names[func] = func.name
+        module_guards, module_metrics = _collect_aliases(tree.body)
+        module_scanner = _Scanner(module_guards, module_metrics)
+        module_scanner.scan_block(tree.body, False)
+        scans[tree] = module_scanner.result
+        names[tree] = "<module>"
+
+        # Module-local escape: a function whose every call site in this file
+        # is guarded inherits the guard (e.g. a private _attach_stats helper).
+        call_sites: dict[str, list[bool]] = {}
+        for scan in scans.values():
+            for callee, guarded in scan.calls:
+                call_sites.setdefault(callee, []).append(guarded)
+        for scope, scan in scans.items():
+            sites = call_sites.get(names[scope], [])
+            if sites and all(sites):
+                continue
+            for node, label, guarded in scan.emissions:
+                if guarded:
+                    continue
+                ctx.report(
+                    self,
+                    node,
+                    f"unguarded observability emission {label}(...); test "
+                    "`if OBS.on:` (or an `observing = OBS.on` alias) first",
+                )

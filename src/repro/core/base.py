@@ -19,7 +19,7 @@ from repro.core.schedule import Schedule
 from repro.exceptions import SchedulingError
 from repro.network.topology import NetworkTopology, Vertex
 from repro.network.validate import validate_topology
-from repro.obs import OBS, ScheduleStats, diff_snapshots, diff_timings, span
+from repro.obs import OBS, ScheduleStats, Snapshot, Timings, diff_snapshots, diff_timings, span
 from repro.procsched.state import ProcessorState
 from repro.taskgraph.graph import CommEdge, TaskGraph
 from repro.taskgraph.priorities import priority_list
@@ -65,8 +65,8 @@ class ContentionScheduler(ABC):
     def _attach_stats(
         self,
         result: Schedule,
-        metrics_before,
-        timings_before,
+        metrics_before: Snapshot,
+        timings_before: Timings,
         event_mark: int,
     ) -> None:
         """Summarize what this run did and hang it off the schedule."""
@@ -121,7 +121,7 @@ class ContentionScheduler(ABC):
         graph: TaskGraph,
         tid: TaskId,
         procs: list[Vertex],
-        pstate,
+        pstate: ProcessorState,
         mls: float,
         *,
         local_comm_exempt: bool = True,

@@ -15,14 +15,19 @@ from math import inf
 from repro.core.base import ContentionScheduler
 from repro.core.schedule import Schedule
 from repro.exceptions import RoutingError, SchedulingError
-from repro.linksched.bandwidth import _FEPS, BandwidthLinkState, probe_step_finish
+from repro.linksched.bandwidth import (
+    _FEPS,
+    BandwidthLinkState,
+    BandwidthProfile,
+    probe_step_finish,
+)
 from repro.linksched.commmodel import CUT_THROUGH, CommModel
 from repro.network.routing import _check_endpoints, bfs_route, dijkstra_route
-from repro.network.topology import Link, NetworkTopology, Vertex
+from repro.network.topology import Link, NetworkTopology, Route, Vertex
 from repro.obs import OBS, span
 from repro.procsched.state import ProcessorState
 from repro.taskgraph.graph import TaskGraph
-from repro.types import EdgeKey, TaskId
+from repro.types import EdgeKey, LinkId, TaskId
 
 
 def _dijkstra_fluid(
@@ -31,9 +36,9 @@ def _dijkstra_fluid(
     dst: int,
     ready_time: float,
     cost: float,
-    profiles,
+    profiles: dict[LinkId, BandwidthProfile],
     tiny: bool,
-):
+) -> Route:
     """Obs-off specialization of :func:`repro.network.routing.dijkstra_route`
     with BBSA's fluid step-arrival probe inlined into the relax loop.
 
@@ -137,7 +142,9 @@ class BBSAScheduler(ContentionScheduler):
         self._mls = net.mean_link_speed() if net.num_links else 1.0
         self._probe_memo = {}
 
-    def _route(self, net: NetworkTopology, src: int, dst: int, cost: float, ready: float):
+    def _route(
+        self, net: NetworkTopology, src: int, dst: int, cost: float, ready: float
+    ) -> Route:
         if not self.modified_routing:
             with span("routing"):
                 return bfs_route(net, src, dst)

@@ -43,7 +43,7 @@ class ClassicScheduler(ContentionScheduler):
                         self._direct_speed[key] = link.speed
 
     def _comm_time(self, cost: float, src_proc: int, dst_proc: int) -> float:
-        if src_proc == dst_proc or cost == 0:
+        if src_proc == dst_proc or cost <= 0:
             return 0.0
         speed = self._direct_speed.get((src_proc, dst_proc), self._mls)
         return cost / speed

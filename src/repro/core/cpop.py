@@ -95,11 +95,13 @@ class CPOPScheduler(ContentionScheduler):
         self._mls = net.mean_link_speed() if net.num_links else 1.0
 
     def _comm_time(self, cost: float, src_proc: int, dst_proc: int) -> float:
-        if src_proc == dst_proc or cost == 0:
+        if src_proc == dst_proc or cost <= 0:
             return 0.0
         return cost / self._mls
 
-    def _data_ready(self, graph: TaskGraph, tid: TaskId, vid: int, pstate) -> float:
+    def _data_ready(
+        self, graph: TaskGraph, tid: TaskId, vid: int, pstate: ProcessorState
+    ) -> float:
         t_dr = 0.0
         for e in graph.in_edges(tid):
             src_pl = pstate.placement(e.src)

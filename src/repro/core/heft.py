@@ -83,7 +83,7 @@ class HEFTScheduler(ContentionScheduler):
         self._mls = net.mean_link_speed() if net.num_links else 1.0
 
     def _comm_time(self, cost: float, src_proc: int, dst_proc: int) -> float:
-        if src_proc == dst_proc or cost == 0:
+        if src_proc == dst_proc or cost <= 0:
             return 0.0
         return cost / self._mls
 

@@ -171,25 +171,30 @@ def schedule_from_json(text: str) -> Schedule:
 
             packet_state = PacketLinkState()
             for r in doc["packet_state"]["routes"]:
-                key = (int(r["src"]), int(r["dst"]))
-                packet_state._routes[key] = tuple(int(l) for l in r["links"])
-                packet_state._packets[key] = int(r["packets"])
+                packet_state.restore_route(
+                    (int(r["src"]), int(r["dst"])),
+                    tuple(int(l) for l in r["links"]),
+                    int(r["packets"]),
+                )
             for lid_str, slots in doc["packet_state"]["slots"].items():
-                packet_state._queues[int(lid_str)] = [
-                    PacketSlot(
-                        (int(s["src"]), int(s["dst"])),
-                        int(s["packet"]),
-                        float(s["start"]),
-                        float(s["finish"]),
-                    )
-                    for s in slots
-                ]
+                packet_state.restore_slots(
+                    int(lid_str),
+                    [
+                        PacketSlot(
+                            (int(s["src"]), int(s["dst"])),
+                            int(s["packet"]),
+                            float(s["start"]),
+                            float(s["finish"]),
+                        )
+                        for s in slots
+                    ],
+                )
         bandwidth_state = None
         if "bandwidth_state" in doc:
             bandwidth_state = BandwidthLinkState()
             for r in doc["bandwidth_state"]["routes"]:
-                bandwidth_state._routes[(int(r["src"]), int(r["dst"]))] = tuple(
-                    int(l) for l in r["links"]
+                bandwidth_state.restore_route(
+                    (int(r["src"]), int(r["dst"])), tuple(int(l) for l in r["links"])
                 )
             for b in doc["bandwidth_state"]["bookings"]:
                 key = (int(b["src"]), int(b["dst"]))
@@ -208,10 +213,7 @@ def schedule_from_json(text: str) -> Schedule:
                             usage,
                         )
                     )
-                    bandwidth_state._writable_profile(int(hop["lid"])).add_usage(
-                        list(usage)
-                    )
-                bandwidth_state._bookings[key] = hops
+                bandwidth_state.restore_booking(key, hops)
         return Schedule(
             algorithm=str(doc["algorithm"]),
             graph=graph,

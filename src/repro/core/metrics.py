@@ -71,7 +71,7 @@ def link_utilization(schedule: Schedule) -> dict[int, float]:
         lids = {
             lid for r in schedule.bandwidth_state.routes().values() for lid in r
         }
-        for lid in lids:
+        for lid in sorted(lids):
             prof = schedule.bandwidth_state.profile(lid)
             integral = sum((t1 - t0) * used for t0, t1, used in prof.segments)
             out[lid] = integral / ms
@@ -95,7 +95,7 @@ def comm_to_comp_time(schedule: Schedule) -> float:
         lids = {
             lid for r in schedule.bandwidth_state.routes().values() for lid in r
         }
-        for lid in lids:
+        for lid in sorted(lids):
             prof = schedule.bandwidth_state.profile(lid)
             total_comm += sum((t1 - t0) * used for t0, t1, used in prof.segments)
     elif schedule.packet_state is not None:

@@ -27,13 +27,13 @@ from repro.exceptions import RoutingError, SchedulingError
 from repro.linksched.commmodel import CUT_THROUGH, CommModel
 from repro.linksched.insertion import probe_basic, schedule_edge_basic
 from repro.linksched.optimal_insertion import schedule_edge_optimal
-from repro.linksched.state import LinkScheduleState
+from repro.linksched.state import LinkScheduleState, _LinkQueue  # repro-lint: disable=TXN001 (type-only use below)
 from repro.network.routing import _check_endpoints, bfs_route, dijkstra_route
-from repro.network.topology import Link, NetworkTopology, Vertex
+from repro.network.topology import Link, NetworkTopology, Route, Vertex
 from repro.obs import OBS, span
 from repro.procsched.state import ProcessorState
 from repro.taskgraph.graph import TaskGraph
-from repro.types import EdgeKey, TaskId
+from repro.types import EdgeKey, LinkId, TaskId
 
 
 def _dijkstra_indexed(
@@ -42,8 +42,8 @@ def _dijkstra_indexed(
     dst: int,
     ready_time: float,
     cost: float,
-    queues,
-):
+    queues: dict[LinkId, _LinkQueue],  # repro-lint: disable=TXN001 (type annotation only)
+) -> Route:
     """Obs-off specialization of :func:`repro.network.routing.dijkstra_route`
     with OIHSA's indexed-queue gap probe inlined into the relax loop.
 
@@ -170,7 +170,7 @@ class OIHSAScheduler(ContentionScheduler):
         dst: int,
         cost: float,
         ready: float,
-    ):
+    ) -> Route:
         if not self.modified_routing:
             with span("routing"):
                 return bfs_route(net, src, dst)

@@ -95,7 +95,7 @@ def validate_schedule(schedule: Schedule, eps: float = CAUSALITY_EPS) -> None:
         ):
             continue  # classic model: no routes to check
         route = schedule.edge_route(e.key)
-        if same_proc or e.cost == 0:
+        if same_proc or e.cost <= 0:
             if route and same_proc:
                 raise ValidationError(f"same-processor edge {e.key} has route {route}")
         elif not route:

@@ -25,10 +25,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.exceptions import SchedulingError
 from repro.network.topology import Link, Route
 from repro.types import EdgeKey, LinkId
+
+if TYPE_CHECKING:
+    from repro.linksched.commmodel import CommModel
 
 #: Numerical slack for backlog/volume comparisons inside the fluid sweep.
 _FEPS = 1e-9
@@ -84,7 +88,7 @@ class Cumulative:
 
     def shifted(self, dt: float) -> "Cumulative":
         """The same volume profile delayed by ``dt`` time units."""
-        if dt == 0:
+        if dt == 0:  # repro-lint: disable=FLT001 (exact zero shift is the identity)
             return self
         return Cumulative([(t + dt, v) for t, v in self.points])
 
@@ -92,13 +96,14 @@ class Cumulative:
         """Right-continuous value at ``t``."""
         pts = self.points
         if t < pts[0][0]:
-            return pts[0][1] if pts[0][0] == t else 0.0
+            # Exact breakpoint lookup, not arithmetic.
+            return pts[0][1] if pts[0][0] == t else 0.0  # repro-lint: disable=FLT001
         if t >= pts[-1][0]:
             return pts[-1][1]
         # Linear scan is fine: validation-only path.
         for (t0, v0), (t1, v1) in zip(pts, pts[1:]):
             if t0 <= t <= t1:
-                if t == t1:
+                if t == t1:  # repro-lint: disable=FLT001 (exact breakpoint lookup)
                     continue  # prefer the right-most pair at jumps
                 if t1 == t0:
                     continue
@@ -262,7 +267,7 @@ def forward_through_link(
             t_zero = math.inf
         t_done = t + (volume - forwarded) / rate if rate > 0 else math.inf
         t_next = min(horizon, t_zero, t_done)
-        if t_next == math.inf:
+        if math.isinf(t_next):
             raise SchedulingError(
                 "transfer cannot complete: no arrival and no backlog "
                 f"(forwarded {forwarded} of {volume} at t={t})"
@@ -273,7 +278,8 @@ def forward_through_link(
             arrived = min(volume, arrived + a * dt)
             if rate > 0:
                 frac = rate / speed
-                if usage and usage[-1].finish == t and abs(usage[-1].fraction - frac) <= _FEPS:
+                # Segments abut exactly: t is copied from the previous finish.
+                if usage and usage[-1].finish == t and abs(usage[-1].fraction - frac) <= _FEPS:  # repro-lint: disable=FLT001
                     usage[-1] = UsageSegment(usage[-1].start, t_next, usage[-1].fraction)
                 else:
                     usage.append(UsageSegment(t, t_next, frac))
@@ -346,7 +352,7 @@ def probe_step_finish(
         rate = max(0.0, 1.0 - used) * speed
         t_done = t + (volume - forwarded) / rate if rate > 0 else math.inf
         t_next = horizon if horizon < t_done else t_done
-        if t_next == math.inf:
+        if math.isinf(t_next):
             raise SchedulingError(
                 "transfer cannot complete: no arrival and no backlog "
                 f"(forwarded {forwarded} of {volume} at t={t})"
@@ -447,13 +453,27 @@ class BandwidthLinkState:
     def bookings_of(self, edge: EdgeKey) -> list[TransferBooking]:
         return list(self._bookings.get(edge, []))
 
+    def restore_route(self, edge: EdgeKey, links: tuple[LinkId, ...]) -> None:
+        """Re-register a deserialized edge's route verbatim."""
+        if edge in self._routes:
+            raise SchedulingError(f"edge {edge} already scheduled")
+        self._routes[edge] = tuple(links)
+
+    def restore_booking(self, edge: EdgeKey, hops: list[TransferBooking]) -> None:
+        """Re-install a deserialized edge's hop bookings and link usage verbatim."""
+        if edge in self._bookings:
+            raise SchedulingError(f"edge {edge} already has bookings")
+        self._bookings[edge] = list(hops)
+        for hop in hops:
+            self._writable_profile(hop.lid).add_usage(list(hop.usage))
+
     def schedule_edge(
         self,
         edge: EdgeKey,
         route: Route,
         cost: float,
         ready_time: float,
-        comm=None,
+        comm: "CommModel | None" = None,
     ) -> float:
         """Book ``edge`` along ``route`` with fluid forwarding; return arrival time.
 
@@ -469,9 +489,11 @@ class BandwidthLinkState:
             comm = CUT_THROUGH
         if ready_time < 0:
             raise SchedulingError(f"negative ready time {ready_time}")
+        if cost < 0:
+            raise SchedulingError(f"negative communication cost {cost}")
         if edge in self._routes:
             raise SchedulingError(f"edge {edge} already scheduled")
-        if not route or cost == 0:
+        if not route or cost <= 0:
             self._routes[edge] = ()
             if self._txn_edges is not None:
                 self._txn_edges.append(edge)

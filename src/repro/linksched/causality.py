@@ -83,7 +83,7 @@ def check_route_connectivity(
     for i, lid in enumerate(route):
         link = net.link(lid)
         nxt: set[int] = set()
-        for u in current:
+        for u in sorted(current):
             for l, v in net.out_links(u):
                 if l.lid == lid:
                     nxt.add(v)

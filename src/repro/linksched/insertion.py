@@ -61,7 +61,9 @@ def schedule_edge_basic(
     """
     if ready_time < 0:
         raise SchedulingError(f"negative ready time {ready_time}")
-    if not route or cost == 0:
+    if cost < 0:
+        raise SchedulingError(f"negative communication cost {cost}")
+    if not route or cost <= 0:
         state.record_route(edge, ())
         return ready_time
     state.record_route(edge, tuple(l.lid for l in route))
@@ -99,7 +101,9 @@ def probe_route_basic(
     probe instead replays :func:`schedule_edge_basic` under a transaction
     because sibling edges interact on shared links.
     """
-    if not route or cost == 0:
+    if cost < 0:
+        raise SchedulingError(f"negative communication cost {cost}")
+    if not route or cost <= 0:
         return ready_time
     est = ready_time
     min_finish = 0.0

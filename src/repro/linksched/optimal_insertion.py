@@ -126,7 +126,7 @@ def probe_optimal(
         slot_start = starts[i]
         gap_after = (starts[i + 1] - finishes[i]) if i + 1 < n else math.inf
         room = accum + gap_after
-        if room == 0.0:
+        if room == 0.0:  # repro-lint: disable=FLT001 (exact-zero fast path)
             # ``min(dt, 0.0)`` is 0.0 for any slack (clamped >= 0), so the
             # slack lookups can be skipped — back-to-back slots, the common
             # case in packed queue tails, all take this branch.
@@ -276,7 +276,7 @@ def _schedule_edge_optimal_fast(
             slot_start = starts[i]
             gap_after = (starts[i + 1] - finishes[i]) if i + 1 < n else math.inf
             room = accum + gap_after
-            if room == 0.0:
+            if room == 0.0:  # repro-lint: disable=FLT001 (mirrors probe_optimal)
                 accum = 0.0
             else:
                 s = slots[i]
@@ -351,7 +351,9 @@ def schedule_edge_optimal(
     """Book ``edge`` along ``route`` with optimal insertion; return arrival time."""
     if ready_time < 0:
         raise SchedulingError(f"negative ready time {ready_time}")
-    if not route or cost == 0:
+    if cost < 0:
+        raise SchedulingError(f"negative communication cost {cost}")
+    if not route or cost <= 0:
         state.record_route(edge, ())
         return ready_time
     state.record_route(edge, tuple(l.lid for l in route))

@@ -88,6 +88,19 @@ class PacketLinkState:
     def packets_of(self, edge: EdgeKey) -> int:
         return self._packets.get(edge, 0)
 
+    def restore_route(
+        self, edge: EdgeKey, links: tuple[LinkId, ...], n_packets: int
+    ) -> None:
+        """Re-register a deserialized edge (route + packet count) verbatim."""
+        if edge in self._routes:
+            raise SchedulingError(f"edge {edge} already scheduled")
+        self._routes[edge] = tuple(links)
+        self._packets[edge] = int(n_packets)
+
+    def restore_slots(self, lid: LinkId, slots: list[PacketSlot]) -> None:
+        """Install a deserialized per-link packet queue verbatim (in order)."""
+        self._queues[lid] = list(slots)
+
     def slots_of(self, edge: EdgeKey, lid: LinkId) -> list[PacketSlot]:
         """This edge's packet slots on one link, in packet order."""
         out = [s for s in self.slots(lid) if s.edge == edge]
@@ -115,7 +128,9 @@ class PacketLinkState:
             raise SchedulingError(f"negative hop delay {hop_delay}")
         if edge in self._routes:
             raise SchedulingError(f"edge {edge} already scheduled")
-        if not route or cost == 0:
+        if cost < 0:
+            raise SchedulingError(f"negative communication cost {cost}")
+        if not route or cost <= 0:
             self._routes[edge] = ()
             self._packets[edge] = 0
             return ready_time

@@ -31,7 +31,7 @@ def scale_to_ccr(graph: TaskGraph, target_ccr: float, name: str | None = None) -
     if target_ccr < 0:
         raise GraphError(f"target CCR must be non-negative, got {target_ccr}")
     if graph.num_edges == 0:
-        if target_ccr == 0:
+        if target_ccr <= 0:
             return graph.copy()
         raise GraphError("cannot scale a graph with no edges to a positive CCR")
     current = ccr_of(graph)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import math
+
 from repro.exceptions import GraphError
 from repro.taskgraph.graph import TaskGraph
 
@@ -16,10 +18,10 @@ def validate_graph(graph: TaskGraph, *, require_connected: bool = False) -> None
         raise GraphError("task graph has no tasks")
 
     for t in graph.tasks():
-        if not (t.weight >= 0) or t.weight != t.weight or t.weight == float("inf"):
+        if not (t.weight >= 0) or math.isnan(t.weight) or math.isinf(t.weight):
             raise GraphError(f"task {t.tid} has invalid weight {t.weight}")
     for e in graph.edges():
-        if not (e.cost >= 0) or e.cost != e.cost or e.cost == float("inf"):
+        if not (e.cost >= 0) or math.isnan(e.cost) or math.isinf(e.cost):
             raise GraphError(f"edge {e.src}->{e.dst} has invalid cost {e.cost}")
 
     # Adjacency consistency (defensive: only violable by touching privates).

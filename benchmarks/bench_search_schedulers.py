@@ -1,0 +1,141 @@
+"""Search-scheduler cost: incremental evaluation vs full re-simulation.
+
+``bench_scheduler_cost`` times every algorithm once; this module zooms in on
+the two mapping-search schedulers (simulated annealing, genetic search),
+whose candidate streams are exactly what the incremental evaluator
+(:mod:`repro.core.incremental`) accelerates.  Each scheduler is timed twice
+on a fixed workload — ``incremental=True`` (the default) and
+``incremental=False`` (one full ``simulate_mapping`` per candidate) — and
+the two runs must produce **bit-identical makespans**: the speedup is never
+allowed to buy a different schedule.
+
+As in ``bench_scheduler_cost``, the timed benchmark runs with observability
+disabled, and a separate instrumented pass collects the decision counters —
+including the new ``mapping.prefix_hits`` / ``mapping.suffix_tasks_resimulated``
+/ ``routing.table_hits`` — from which prefix/route-table hit rates are
+derived.  The session writes ``BENCH_search_schedulers.json`` to the working
+directory; CI compares it against the committed baseline with
+``benchmarks/compare_scheduler_cost.py`` (the report shares its layout), so
+any makespan drift fails the build.
+"""
+
+import hashlib
+import json
+from pathlib import Path
+from time import perf_counter
+
+import pytest
+
+from repro import obs
+from repro.core import SCHEDULERS
+from repro.experiments.config import ExperimentConfig
+from repro.experiments.workloads import paper_workload
+
+ALGOS = ("annealing", "genetic")
+
+_report: dict[str, dict] = {}
+
+
+@pytest.fixture(scope="module")
+def workload():
+    # Smaller than bench_scheduler_cost's 16-processor instance: the full
+    # (non-incremental) runs are timed too, and CI runs this module in the
+    # perf-smoke job.
+    config = ExperimentConfig.default()
+    return paper_workload(config, ccr=2.0, n_procs=8, rng=777)
+
+
+def _instrumented_run(algo: str, graph, net, *, incremental: bool) -> dict:
+    """One instrumented schedule() call: wall time + decision counters."""
+    obs.enable(obs.NullSink())
+    obs.reset()
+    try:
+        t0 = perf_counter()
+        schedule = SCHEDULERS[algo](incremental=incremental).schedule(graph, net)
+        wall = perf_counter() - t0
+        assert schedule.makespan > 0
+        counters = obs.METRICS.snapshot()["counters"]
+    finally:
+        obs.disable()
+    return {"wall_s": wall, "makespan": schedule.makespan, "counters": counters}
+
+
+def _hit_rates(counters: dict) -> dict:
+    """Derived cache effectiveness figures for the report."""
+    evals = counters.get("mapping.evaluations", 0)
+    hits = counters.get("mapping.prefix_hits", 0)
+    table_hits = counters.get("routing.table_hits", 0)
+    bfs = counters.get("routing.bfs_routes", 0)
+    return {
+        "prefix_hit_rate": hits / evals if evals else 0.0,
+        "mean_suffix_tasks": (
+            counters.get("mapping.suffix_tasks_resimulated", 0) / evals
+            if evals
+            else 0.0
+        ),
+        "route_table_hit_rate": (
+            table_hits / (table_hits + bfs) if table_hits + bfs else 0.0
+        ),
+    }
+
+
+@pytest.mark.parametrize("algo", ALGOS)
+@pytest.mark.parametrize("incremental", [True, False], ids=["incremental", "full"])
+def test_search_scheduler_runtime(benchmark, workload, algo, incremental):
+    scheduler_cls = SCHEDULERS[algo]
+    result = benchmark(
+        lambda: scheduler_cls(incremental=incremental).schedule(
+            workload.graph, workload.net
+        )
+    )
+    assert result.makespan > 0
+    run = _instrumented_run(
+        algo, workload.graph, workload.net, incremental=incremental
+    )
+    entry = _report.setdefault(algo, {})
+    if incremental:
+        # The whole point of the incremental evaluator: after the first
+        # candidate, evaluations reuse a simulated prefix.
+        assert run["counters"].get("mapping.prefix_hits", 0) > 0
+        entry.update({**run, **_hit_rates(run["counters"])})
+    else:
+        entry["full"] = {"wall_s": run["wall_s"], "makespan": run["makespan"]}
+
+
+def makespan_checksum(report: dict[str, dict]) -> str:
+    """Same digest as ``bench_scheduler_cost.makespan_checksum``.
+
+    (Duplicated rather than imported — ``benchmarks`` is not a package.)
+    """
+    lines = sorted(f"{algo}={report[algo]['makespan']!r}" for algo in report)
+    return hashlib.sha256("\n".join(lines).encode()).hexdigest()
+
+
+def _finalize(report: dict[str, dict]) -> dict:
+    for algo, entry in report.items():
+        full = entry.get("full")
+        if full is not None:
+            # Bit-identity between the two evaluation paths is the bench's
+            # core claim: fail loudly, don't just record drift.
+            assert full["makespan"] == entry["makespan"], (
+                f"{algo}: incremental makespan {entry['makespan']!r} != "
+                f"full {full['makespan']!r}"
+            )
+            entry["incremental_speedup"] = (
+                full["wall_s"] / entry["wall_s"] if entry["wall_s"] else 0.0
+            )
+    return {
+        "algorithms": report,
+        "makespan_checksum": makespan_checksum(report),
+    }
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_report():
+    """After the module's benchmarks, dump the instrumented comparison."""
+    yield
+    if not _report:
+        return
+    out = Path("BENCH_search_schedulers.json")
+    out.write_text(json.dumps(_finalize(_report), indent=1, sort_keys=True))
+    print(f"\nwrote search-scheduler cost comparison to {out.resolve()}")

@@ -80,8 +80,15 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     if observing:
         sink = obs.JsonlSink(args.trace_out) if args.trace_out else obs.ListSink()
         obs.enable(sink)
+    kwargs = {}
+    if args.no_incremental:
+        if args.algorithm not in ("annealing", "genetic"):
+            print("--no-incremental only applies to the mapping-search "
+                  "schedulers (annealing, genetic)")
+            return 2
+        kwargs["incremental"] = False
     try:
-        schedule = SCHEDULERS[args.algorithm]().schedule(graph, net)
+        schedule = SCHEDULERS[args.algorithm](**kwargs).schedule(graph, net)
     finally:
         if observing:
             obs.disable()
@@ -252,6 +259,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--trace-out", default=None, metavar="PATH",
         help="stream the decision-event log as JSONL (implies --stats)",
+    )
+    p.add_argument(
+        "--no-incremental", action="store_true",
+        help="evaluate every mapping-search candidate with a full "
+        "re-simulation instead of the incremental prefix-reusing evaluator "
+        "(annealing/genetic only; results are bit-identical either way)",
     )
     p.set_defaults(fn=_cmd_schedule)
 

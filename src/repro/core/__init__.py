@@ -28,6 +28,7 @@ from repro.core.eventsim import resimulate, SimReport
 from repro.core.genetic import GeneticScheduler
 from repro.core.cpop import CPOPScheduler
 from repro.core.heft import HEFTScheduler
+from repro.core.incremental import IncrementalMappingEvaluator
 from repro.core.mapping import simulate_mapping
 from repro.core.packetba import PacketBAScheduler
 from repro.core.io import schedule_to_json, schedule_from_json
@@ -67,6 +68,7 @@ __all__ = [
     "AnnealingScheduler",
     "GeneticScheduler",
     "PacketBAScheduler",
+    "IncrementalMappingEvaluator",
     "simulate_mapping",
     "resimulate",
     "SimReport",

@@ -15,10 +15,12 @@ table.
 from __future__ import annotations
 
 import math
+from typing import Callable
 
 import numpy as np
 
 from repro.core.ba import BAScheduler
+from repro.core.incremental import IncrementalMappingEvaluator
 from repro.core.mapping import simulate_mapping
 from repro.core.schedule import Schedule
 from repro.exceptions import SchedulingError
@@ -44,6 +46,12 @@ class AnnealingScheduler:
         Geometric cooling factor per iteration.
     seed_with_ba:
         Start from BA's mapping (default) instead of a random one.
+    incremental:
+        Evaluate candidates with the prefix-reusing
+        :class:`~repro.core.incremental.IncrementalMappingEvaluator`
+        (default) instead of a full ``simulate_mapping`` per candidate.
+        Results are bit-identical either way; ``False`` keeps the naive
+        evaluator reachable as the differential reference.
     """
 
     name = "annealing"
@@ -57,6 +65,7 @@ class AnnealingScheduler:
         seed_with_ba: bool = True,
         comm: CommModel = CUT_THROUGH,
         rng: int | np.random.Generator | None = 0,
+        incremental: bool = True,
     ) -> None:
         if iterations < 1:
             raise SchedulingError(f"need at least one iteration, got {iterations}")
@@ -68,6 +77,7 @@ class AnnealingScheduler:
         self.seed_with_ba = seed_with_ba
         self.comm = comm
         self.rng = rng
+        self.incremental = incremental
 
     def schedule(self, graph: TaskGraph, net: NetworkTopology) -> Schedule:
         validate_graph(graph)
@@ -84,11 +94,24 @@ class AnnealingScheduler:
         else:
             mapping = {tid: int(gen.choice(procs)) for tid in tasks}
 
-        current = simulate_mapping(
-            graph, net, mapping, comm=self.comm, algorithm=self.name
-        )
+        evaluator: IncrementalMappingEvaluator | None = None
+        evaluate: Callable[[dict[int, int]], float]
+        if self.incremental:
+            evaluator = IncrementalMappingEvaluator(
+                graph, net, comm=self.comm, algorithm=self.name
+            )
+            evaluate = evaluator.evaluate
+        else:
+
+            def _full_eval(m: dict[int, int]) -> float:
+                return simulate_mapping(
+                    graph, net, m, comm=self.comm, algorithm=self.name
+                ).makespan
+
+            evaluate = _full_eval
+
         best_mapping = dict(mapping)
-        best_cost = current_cost = current.makespan
+        best_cost = current_cost = evaluate(mapping)
         temp = max(best_cost * self.start_temp_factor, 1e-9)
 
         for _ in range(self.iterations):
@@ -98,12 +121,10 @@ class AnnealingScheduler:
             if not choices:
                 break
             mapping[tid] = int(gen.choice(choices))
-            cand = simulate_mapping(
-                graph, net, mapping, comm=self.comm, algorithm=self.name
-            )
-            delta = cand.makespan - current_cost
+            cand_cost = evaluate(mapping)
+            delta = cand_cost - current_cost
             if delta <= 0 or gen.random() < math.exp(-delta / temp):
-                current_cost = cand.makespan
+                current_cost = cand_cost
                 if current_cost < best_cost:
                     best_cost = current_cost
                     best_mapping = dict(mapping)
@@ -111,6 +132,8 @@ class AnnealingScheduler:
                 mapping[tid] = old_proc
             temp *= self.cooling
 
+        if evaluator is not None:
+            return evaluator.schedule(best_mapping)
         return simulate_mapping(
             graph, net, best_mapping, comm=self.comm, algorithm=self.name
         )

@@ -62,22 +62,16 @@ class BAScheduler(ContentionScheduler):
         self.comm = comm
         self._lstate = LinkScheduleState()
         self._arrivals: dict[EdgeKey, float] = {}
-        self._route_cache: dict[tuple[int, int], Route] = {}
 
     def _begin(self, graph: TaskGraph, net: NetworkTopology) -> None:
         self._lstate = LinkScheduleState()
         self._arrivals = {}
-        # BFS routes are static (load-independent): cache per processor pair.
-        self._route_cache = {}
 
     def _bfs(self, net: NetworkTopology, src: int, dst: int) -> Route:
-        key = (src, dst)
-        route = self._route_cache.get(key)
-        if route is None:
-            with span("routing"):
-                route = bfs_route(net, src, dst)
-            self._route_cache[key] = route
-        return route
+        # BFS routes are static (load-independent); the topology's shared
+        # route table memoizes them across runs and engines.
+        with span("routing"):
+            return bfs_route(net, src, dst)
 
     def _book_in_edges(
         self,

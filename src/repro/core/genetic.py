@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.ba import BAScheduler
+from repro.core.incremental import IncrementalMappingEvaluator
 from repro.core.mapping import simulate_mapping
 from repro.core.schedule import Schedule
 from repro.exceptions import SchedulingError
@@ -38,6 +39,7 @@ class GeneticScheduler:
         seed_with_ba: bool = True,
         comm: CommModel = CUT_THROUGH,
         rng: int | np.random.Generator | None = 0,
+        incremental: bool = True,
     ) -> None:
         if population < 2:
             raise SchedulingError(f"population must be >= 2, got {population}")
@@ -54,6 +56,9 @@ class GeneticScheduler:
         self.seed_with_ba = seed_with_ba
         self.comm = comm
         self.rng = rng
+        #: evaluate candidates incrementally (prefix-state reuse); ``False``
+        #: keeps the full-resimulation reference path reachable
+        self.incremental = incremental
 
     def schedule(self, graph: TaskGraph, net: NetworkTopology) -> Schedule:
         validate_graph(graph)
@@ -69,7 +74,15 @@ class GeneticScheduler:
         def to_mapping(genome: np.ndarray) -> dict[int, int]:
             return {tid: int(genome[i]) for i, tid in enumerate(tasks)}
 
+        evaluator: IncrementalMappingEvaluator | None = None
+        if self.incremental:
+            evaluator = IncrementalMappingEvaluator(
+                graph, net, comm=self.comm, algorithm=self.name
+            )
+
         def fitness(genome: np.ndarray) -> float:
+            if evaluator is not None:
+                return evaluator.evaluate(to_mapping(genome))
             return simulate_mapping(
                 graph, net, to_mapping(genome), comm=self.comm, algorithm=self.name
             ).makespan
@@ -102,6 +115,8 @@ class GeneticScheduler:
             scores = np.array([fitness(g) for g in pool])
 
         best = pool[int(np.argmin(scores))]
+        if evaluator is not None:
+            return evaluator.schedule(to_mapping(best))
         return simulate_mapping(
             graph, net, to_mapping(best), comm=self.comm, algorithm=self.name
         )

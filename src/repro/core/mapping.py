@@ -19,7 +19,7 @@ from repro.linksched.commmodel import CUT_THROUGH, CommModel
 from repro.linksched.insertion import schedule_edge_basic
 from repro.linksched.state import LinkScheduleState
 from repro.network.routing import bfs_route
-from repro.network.topology import NetworkTopology, Route
+from repro.network.topology import NetworkTopology
 from repro.procsched.state import ProcessorState
 from repro.taskgraph.graph import TaskGraph
 from repro.taskgraph.priorities import priority_list
@@ -57,13 +57,6 @@ def simulate_mapping(
     lstate = LinkScheduleState()
     pstate = ProcessorState()
     arrivals: dict[tuple[int, int], float] = {}
-    route_cache: dict[tuple[int, int], Route] = {}
-
-    def route_between(src: int, dst: int) -> Route:
-        key = (src, dst)
-        if key not in route_cache:
-            route_cache[key] = bfs_route(net, src, dst)
-        return route_cache[key]
 
     for tid in task_order:
         proc = net.vertex(mapping[tid])
@@ -74,7 +67,8 @@ def simulate_mapping(
                 arrival = src_pl.finish
                 lstate.record_route(e.key, ())
             else:
-                route = route_between(src_pl.processor, proc.vid)
+                # BFS routes memoize in the topology's shared route table.
+                route = bfs_route(net, src_pl.processor, proc.vid)
                 arrival = schedule_edge_basic(
                     lstate, e.key, route, e.cost, src_pl.finish, comm
                 )

@@ -33,20 +33,14 @@ class PacketBAScheduler(ContentionScheduler):
         self.hop_delay = hop_delay
         self._pstate_links = PacketLinkState()
         self._arrivals: dict[EdgeKey, float] = {}
-        self._route_cache: dict[tuple[int, int], Route] = {}
 
     def _begin(self, graph: TaskGraph, net: NetworkTopology) -> None:
         self._pstate_links = PacketLinkState()
         self._arrivals = {}
-        self._route_cache = {}
 
     def _bfs(self, net: NetworkTopology, src: int, dst: int) -> Route:
-        key = (src, dst)
-        route = self._route_cache.get(key)
-        if route is None:
-            route = bfs_route(net, src, dst)
-            self._route_cache[key] = route
-        return route
+        # Memoized by the topology's shared route table.
+        return bfs_route(net, src, dst)
 
     def _place_task(
         self,

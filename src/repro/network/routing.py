@@ -39,10 +39,21 @@ def bfs_route(net: NetworkTopology, src: VertexId, dst: VertexId) -> Route:
 
     Returns ``[]`` when ``src == dst``.  Ties between equal-hop paths break
     toward smaller link ids, matching a deterministic BFS expansion order.
+
+    Minimal routes are purely topological, so results are memoized in the
+    topology's :meth:`~repro.network.topology.NetworkTopology.route_table`
+    (invalidated by any mutation) and shared across all engines.  Callers
+    must treat the returned route as read-only.
     """
     _check_endpoints(net, src, dst)
     if src == dst:
         return []
+    table = net.route_table()
+    cached = table.get((src, dst))
+    if cached is not None:
+        if OBS.on:
+            OBS.metrics.counter("routing.table_hits").inc()
+        return cached
     # Vertex ids are dense ``0..n-1`` (sequential assignment, no removal), so
     # the search state lives in flat arrays instead of dicts/sets.
     n = net.num_vertices
@@ -73,6 +84,7 @@ def bfs_route(net: NetworkTopology, src: VertexId, dst: VertexId) -> Route:
         route.append(parent_l[cur])
         cur = parent_v[cur]
     route.reverse()
+    table[(src, dst)] = route
     if OBS.on:
         OBS.metrics.counter("routing.bfs_routes").inc()
         OBS.metrics.histogram("routing.route_length").observe(float(len(route)))

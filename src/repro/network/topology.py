@@ -86,6 +86,13 @@ class NetworkTopology:
     _sorted_adj: dict[VertexId, list[tuple[Link, VertexId]]] | None = field(
         default=None, repr=False
     )
+    #: ``(src, dst) -> Route`` memo filled by :func:`repro.network.routing
+    #: .bfs_route`; purely topological, so it shares one entry per processor
+    #: pair across every engine and is invalidated by any topology mutation
+    #: (same lifetime as ``_sorted_adj``)
+    _route_table: dict[tuple[VertexId, VertexId], Route] | None = field(
+        default=None, repr=False
+    )
     _next_vid: int = 0
     _next_lid: int = 0
 
@@ -96,6 +103,7 @@ class NetworkTopology:
         self._vertices[v.vid] = v
         self._adj[v.vid] = []
         self._sorted_adj = None
+        self._route_table = None
         self._next_vid += 1
         return v
 
@@ -104,6 +112,7 @@ class NetworkTopology:
         self._vertices[v.vid] = v
         self._adj[v.vid] = []
         self._sorted_adj = None
+        self._route_table = None
         self._next_vid += 1
         return v
 
@@ -134,6 +143,7 @@ class NetworkTopology:
         if uid == vid:
             raise TopologyError(f"cannot connect vertex {uid} to itself")
         self._sorted_adj = None
+        self._route_table = None
         if duplex == "full":
             fwd = Link(self._next_lid, float(speed), uid, vid, "ptp", name=name or f"L{self._next_lid}")
             self._next_lid += 1
@@ -163,6 +173,7 @@ class NetworkTopology:
         for vid in ids:
             self._require_vertex(vid)
         self._sorted_adj = None
+        self._route_table = None
         link = Link(
             self._next_lid, float(speed), ids[0], ids[1], "bus", members=ids,
             name=name or f"BUS{self._next_lid}",
@@ -229,6 +240,21 @@ class NetworkTopology:
             return cache[vid]
         except KeyError:
             raise TopologyError(f"unknown vertex id {vid}") from None
+
+    def route_table(self) -> dict[tuple[VertexId, VertexId], Route]:
+        """The shared ``(src, dst) -> Route`` memo for minimal routing.
+
+        Lazily created on first use and dropped (like :meth:`sorted_out_links`'
+        cache) by any topology mutation.  :func:`repro.network.routing
+        .bfs_route` fills it, so every engine scheduling on this topology —
+        BA, mapping simulation, BBSA fallback paths — computes each processor
+        pair's minimal route at most once per topology lifetime.
+        """
+        table = self._route_table
+        if table is None:
+            table = {}
+            self._route_table = table
+        return table
 
     def mean_link_speed(self) -> float:
         """The paper's ``MLS``: average transfer speed over all links."""

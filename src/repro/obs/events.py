@@ -175,6 +175,15 @@ class EventBus:
         """Suppress events (not counters) for the duration of a ``with`` block."""
         return _Quiet(self)
 
+    @property
+    def quieted(self) -> bool:
+        """True inside a :meth:`quiet` block — emissions would be dropped.
+
+        Hot emission sites with non-trivial payloads test this to skip
+        building an event dict that :meth:`emit` would discard.
+        """
+        return self._suspended > 0
+
     # -- marks: cheap "events since X" for ScheduleStats ----------------------
 
     def mark(self) -> int:

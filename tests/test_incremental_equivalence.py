@@ -1,0 +1,254 @@
+"""Differential suite: incremental mapping evaluation vs full re-simulation.
+
+:class:`repro.core.incremental.IncrementalMappingEvaluator` claims
+**bit-identical** results to :func:`repro.core.mapping.simulate_mapping`
+while re-simulating only the suffix past each candidate's divergence point.
+This module proves the claim the same way ``test_perf_equivalence`` does for
+the PR 3 hot paths — exact (``==``, never approximate) comparison against
+the naive path on Hypothesis-generated inputs:
+
+1. random candidate *streams* (walks of single-task moves, full remaps, and
+   repeats) scored through one live evaluator vs a fresh full simulation per
+   candidate: every makespan equal, both comm models;
+2. the worst case — consecutive candidates diverging at order position 0,
+   so the entire prefix is rewound and nothing is reused;
+3. materialized schedules (:meth:`IncrementalMappingEvaluator.schedule`)
+   vs ``simulate_mapping``: placements, edge arrivals, per-link slot lists,
+   recorded routes and makespan, slot by slot;
+4. the search schedulers themselves: ``AnnealingScheduler`` /
+   ``GeneticScheduler`` with ``incremental=True`` vs ``incremental=False``
+   produce equal schedules (same RNG draws, same trajectory);
+5. validation parity on broken mappings, and the prefix-reuse counters.
+"""
+
+from __future__ import annotations
+
+import hypothesis.strategies as st
+import pytest
+from hypothesis import HealthCheck, given, settings
+
+from repro import obs
+from repro.core.annealing import AnnealingScheduler
+from repro.core.genetic import GeneticScheduler
+from repro.core.incremental import IncrementalMappingEvaluator
+from repro.core.mapping import simulate_mapping
+from repro.exceptions import SchedulingError
+from repro.linksched.commmodel import CUT_THROUGH, STORE_AND_FORWARD
+from repro.network.builders import (
+    fully_connected,
+    linear_array,
+    random_wan,
+    switched_cluster,
+)
+from repro.obs import OBS
+from repro.taskgraph.generators import random_layered_dag
+from repro.taskgraph.priorities import priority_list
+
+DIFF = settings(
+    max_examples=120, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+WORST = settings(
+    max_examples=60, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+SCHED = settings(
+    max_examples=10, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+graphs = st.builds(
+    lambda n, seed, density: random_layered_dag(n, rng=seed, density=density),
+    n=st.integers(2, 18),
+    seed=st.integers(0, 10_000),
+    density=st.floats(0.0, 0.5),
+)
+
+topologies = st.one_of(
+    st.builds(lambda n, s: fully_connected(n, rng=s), st.integers(2, 5), st.integers(0, 99)),
+    st.builds(lambda n, s: switched_cluster(n, rng=s), st.integers(2, 6), st.integers(0, 99)),
+    st.builds(lambda n, s: linear_array(n, rng=s), st.integers(2, 5), st.integers(0, 99)),
+    st.builds(
+        lambda n, s: random_wan(n, rng=s, proc_speed=(1, 10), link_speed=(1, 10)),
+        st.integers(2, 8),
+        st.integers(0, 99),
+    ),
+)
+
+comm_models = st.sampled_from([CUT_THROUGH, STORE_AND_FORWARD])
+
+#: a candidate stream: the initial assignment plus a walk of edits.
+#: Each step either moves one task ((pos, proc) selectors) or, when the
+#: ``remap`` flag is set, rebases the whole mapping from the step's selectors
+#: — the divergence point then lands anywhere, including position 0.
+walks = st.lists(
+    st.tuples(
+        st.booleans(),  # full remap instead of a single move
+        st.integers(0, 10**6),  # order-position selector
+        st.integers(0, 10**6),  # processor selector
+    ),
+    min_size=1,
+    max_size=6,
+)
+
+
+def _mappings_for(graph, net, init_sel, walk):
+    """Deterministic candidate stream from Hypothesis-drawn selectors."""
+    order = priority_list(graph)
+    procs = sorted(p.vid for p in net.processors())
+    mapping = {tid: procs[(init_sel + i) % len(procs)] for i, tid in enumerate(order)}
+    stream = [dict(mapping)]
+    for remap, pos_sel, proc_sel in walk:
+        if remap:
+            mapping = {
+                tid: procs[(pos_sel + proc_sel * i) % len(procs)]
+                for i, tid in enumerate(order)
+            }
+        else:
+            mapping = dict(mapping)
+            mapping[order[pos_sel % len(order)]] = procs[proc_sel % len(procs)]
+        stream.append(dict(mapping))
+    return stream
+
+
+def _assert_schedules_equal(inc, ref):
+    assert inc.makespan == ref.makespan
+    assert inc.placements == ref.placements
+    assert inc.edge_arrivals == ref.edge_arrivals
+    assert inc.link_state.routes() == ref.link_state.routes()
+    lids = set(inc.link_state.used_links()) | set(ref.link_state.used_links())
+    for lid in lids:
+        assert inc.link_state.slots(lid) == ref.link_state.slots(lid)
+
+
+class TestEvaluateDifferential:
+    @DIFF
+    @given(
+        graph=graphs,
+        net=topologies,
+        comm=comm_models,
+        init_sel=st.integers(0, 10**6),
+        walk=walks,
+    )
+    def test_candidate_stream_matches_full_resimulation(
+        self, graph, net, comm, init_sel, walk
+    ):
+        evaluator = IncrementalMappingEvaluator(graph, net, comm=comm)
+        for mapping in _mappings_for(graph, net, init_sel, walk):
+            expected = simulate_mapping(graph, net, mapping, comm=comm).makespan
+            assert evaluator.evaluate(mapping) == expected
+
+    @WORST
+    @given(graph=graphs, net=topologies, comm=comm_models, seed=st.integers(0, 10**6))
+    def test_divergence_at_position_zero(self, graph, net, comm, seed):
+        """Worst case: every candidate invalidates the whole prefix."""
+        order = priority_list(graph)
+        procs = sorted(p.vid for p in net.processors())
+        base = {tid: procs[(seed + i) % len(procs)] for i, tid in enumerate(order)}
+        moved = dict(base)
+        moved[order[0]] = procs[(procs.index(base[order[0]]) + 1) % len(procs)]
+        evaluator = IncrementalMappingEvaluator(graph, net, comm=comm)
+        for mapping in (base, moved, base, moved):
+            expected = simulate_mapping(graph, net, mapping, comm=comm).makespan
+            assert evaluator.evaluate(mapping) == expected
+
+    @WORST
+    @given(
+        graph=graphs,
+        net=topologies,
+        comm=comm_models,
+        init_sel=st.integers(0, 10**6),
+        walk=walks,
+    )
+    def test_materialized_schedule_matches_slot_by_slot(
+        self, graph, net, comm, init_sel, walk
+    ):
+        stream = _mappings_for(graph, net, init_sel, walk)
+        evaluator = IncrementalMappingEvaluator(graph, net, comm=comm)
+        for mapping in stream:
+            evaluator.evaluate(mapping)
+        final = stream[len(walk) // 2]  # rewind mid-stream, not just the last
+        _assert_schedules_equal(
+            evaluator.schedule(final), simulate_mapping(graph, net, final, comm=comm)
+        )
+
+
+class TestSchedulerEquivalence:
+    @SCHED
+    @given(graph=graphs, net=topologies, seed=st.integers(0, 500))
+    def test_annealing_incremental_matches_full(self, graph, net, seed):
+        kwargs = dict(iterations=40, rng=seed)
+        inc = AnnealingScheduler(incremental=True, **kwargs).schedule(graph, net)
+        ref = AnnealingScheduler(incremental=False, **kwargs).schedule(graph, net)
+        _assert_schedules_equal(inc, ref)
+
+    @SCHED
+    @given(graph=graphs, net=topologies, seed=st.integers(0, 500))
+    def test_genetic_incremental_matches_full(self, graph, net, seed):
+        kwargs = dict(population=6, generations=3, rng=seed)
+        inc = GeneticScheduler(incremental=True, **kwargs).schedule(graph, net)
+        ref = GeneticScheduler(incremental=False, **kwargs).schedule(graph, net)
+        _assert_schedules_equal(inc, ref)
+
+
+class TestValidationAndCounters:
+    def _workload(self):
+        graph = random_layered_dag(10, rng=7, density=0.4)
+        net = fully_connected(3, rng=7)
+        return graph, net
+
+    def test_missing_task_raises(self):
+        graph, net = self._workload()
+        order = priority_list(graph)
+        procs = sorted(p.vid for p in net.processors())
+        mapping = {tid: procs[0] for tid in order}
+        del mapping[order[len(order) // 2]]
+        evaluator = IncrementalMappingEvaluator(graph, net)
+        with pytest.raises(SchedulingError, match="misses tasks"):
+            evaluator.evaluate(mapping)
+
+    def test_non_processor_target_raises(self):
+        graph, net = self._workload()
+        switch = net.add_switch()
+        net.connect(net.processors()[0], switch)
+        mapping = {t.tid: switch.vid for t in graph.tasks()}
+        with pytest.raises(SchedulingError, match="non-processor"):
+            IncrementalMappingEvaluator(graph, net).evaluate(mapping)
+
+    def test_bad_order_rejected(self):
+        graph, net = self._workload()
+        order = priority_list(graph)
+        with pytest.raises(SchedulingError, match="permutation"):
+            IncrementalMappingEvaluator(graph, net, order=order[:-1])
+
+    def test_prefix_counters(self):
+        graph, net = self._workload()
+        order = priority_list(graph)
+        procs = sorted(p.vid for p in net.processors())
+        base = {tid: procs[0] for tid in order}
+        moved = dict(base)
+        moved[order[-1]] = procs[1]  # diverges at the last order position
+        obs.enable()
+        obs.reset()  # the metrics registry is process-wide
+        try:
+            evaluator = IncrementalMappingEvaluator(graph, net)
+            evaluator.evaluate(base)
+            evaluator.evaluate(moved)
+            metrics = OBS.metrics
+            assert metrics.counter("mapping.evaluations").value == 2
+            assert metrics.counter("mapping.prefix_hits").value == 1
+            # Full first pass (n tasks) + a one-task suffix for the move.
+            expected = len(order) + 1
+            assert (
+                metrics.counter("mapping.suffix_tasks_resimulated").value == expected
+            )
+        finally:
+            obs.disable()
+
+    def test_evaluate_emits_no_events(self):
+        graph, net = self._workload()
+        procs = sorted(p.vid for p in net.processors())
+        mapping = {t.tid: procs[0] for t in graph.tasks()}
+        obs.enable()
+        try:
+            IncrementalMappingEvaluator(graph, net).evaluate(mapping)
+            assert list(OBS.bus.iter_events()) == []
+        finally:
+            obs.disable()

@@ -147,3 +147,65 @@ class TestDijkstra:
         proc = net4.processors()[0].vid
         with pytest.raises(RoutingError):
             dijkstra_route(net4, proc, switch, 0.0, self._uniform_probe(1.0))
+
+
+class TestRouteTable:
+    """bfs_route memoizes per (src, dst) on the topology's route table."""
+
+    def test_repeat_queries_return_cached_route(self, net4):
+        a, b = net4.processors()[0].vid, net4.processors()[1].vid
+        first = bfs_route(net4, a, b)
+        assert bfs_route(net4, a, b) is first
+        assert net4.route_table()[(a, b)] is first
+
+    def test_directions_cached_independently(self, net4):
+        a, b = net4.processors()[0].vid, net4.processors()[1].vid
+        bfs_route(net4, a, b)
+        bfs_route(net4, b, a)
+        assert set(net4.route_table()) >= {(a, b), (b, a)}
+
+    def test_same_vertex_not_cached(self, net4):
+        p = net4.processors()[0].vid
+        assert bfs_route(net4, p, p) == []
+        assert (p, p) not in net4.route_table()
+
+    def test_topology_mutation_invalidates_table(self):
+        net = NetworkTopology()
+        a = net.add_processor()
+        b = net.add_processor()
+        c = net.add_processor()
+        net.connect(a, b)
+        net.connect(b, c)
+        stale = bfs_route(net, a.vid, c.vid)
+        assert len(stale) == 2
+        net.connect(a, c)  # shortcut; must not keep serving the 2-hop route
+        route = bfs_route(net, a.vid, c.vid)
+        assert len(route) == 1
+
+    def test_each_mutator_invalidates(self, net2):
+        a, b = (p.vid for p in net2.processors())
+        for mutate in (
+            lambda n: n.add_processor(),
+            lambda n: n.add_switch(),
+            lambda n: n.add_bus([a, b]),
+        ):
+            bfs_route(net2, a, b)
+            assert net2.route_table()
+            mutate(net2)
+            assert not net2.route_table()
+
+    def test_table_hits_counter(self, net4):
+        from repro import obs
+
+        a, b = net4.processors()[0].vid, net4.processors()[1].vid
+        obs.enable()
+        obs.reset()  # the metrics registry is process-wide
+        try:
+            bfs_route(net4, a, b)
+            miss_routes = obs.OBS.metrics.counter("routing.bfs_routes").value
+            bfs_route(net4, a, b)
+            assert obs.OBS.metrics.counter("routing.table_hits").value == 1
+            # A table hit is not a BFS computation.
+            assert obs.OBS.metrics.counter("routing.bfs_routes").value == miss_routes
+        finally:
+            obs.disable()

@@ -27,8 +27,7 @@ import pytest
 
 from repro import obs
 from repro.core import SCHEDULERS
-from repro.experiments.config import ExperimentConfig
-from repro.experiments.workloads import paper_workload
+from repro.experiments.workloads import scheduler_cost_workload
 
 PHASES = ("routing", "insertion", "processor_selection", "task_placement")
 
@@ -37,16 +36,24 @@ _phase_report: dict[str, dict] = {}
 
 @pytest.fixture(scope="module")
 def workload():
-    config = ExperimentConfig.default()
-    return paper_workload(config, ccr=2.0, n_procs=16, rng=12345)
+    return scheduler_cost_workload()
 
 
-def _profiled_run(algo: str, graph, net) -> dict:
+def _profiled_run(algo: str) -> dict:
     """One instrumented schedule() call: wall time + phase/counter breakdown.
 
     Reads the process-wide instruments directly (they were just reset), so
     schedulers that bypass ``Schedule.stats`` attachment still report.
+
+    Builds a **fresh** workload instance rather than reusing the benchmark
+    fixture: route tables and probe caches live on the topology object, so a
+    shared instance would make the counters depend on which algorithms ran
+    before (warm caches -> more table hits).  A cold instance makes every
+    counter a pure function of (algorithm, workload) — reproducible by
+    ``repro runs compare`` in any process, in any order.
     """
+    workload = scheduler_cost_workload()
+    graph, net = workload.graph, workload.net
     obs.enable(obs.NullSink())
     obs.reset()
     try:
@@ -84,7 +91,7 @@ def test_scheduler_runtime(benchmark, workload, algo):
     scheduler_cls = SCHEDULERS[algo]
     result = benchmark(lambda: scheduler_cls().schedule(workload.graph, workload.net))
     assert result.makespan > 0
-    _phase_report[algo] = _profiled_run(algo, workload.graph, workload.net)
+    _phase_report[algo] = _profiled_run(algo)
 
 
 @pytest.mark.parametrize("n_tasks", [25, 50, 100])
@@ -113,3 +120,23 @@ def _write_phase_report():
     }
     out.write_text(json.dumps(payload, indent=1, sort_keys=True))
     print(f"\nwrote per-phase scheduler cost breakdown to {out.resolve()}")
+    # Ledger record of the bench run (same shape `repro runs compare` checks).
+    from repro.obs import runlog
+    from repro.experiments.workloads import SCHEDULER_COST_PARAMS
+
+    record = runlog.new_record(
+        "bench",
+        fingerprint_doc={
+            "bench": "scheduler_cost",
+            "params": SCHEDULER_COST_PARAMS,
+            "algorithms": sorted(_phase_report),
+        },
+        makespans={a: r["makespan"] for a, r in _phase_report.items()},
+        meta={
+            "counters": {a: r["counters"] for a, r in _phase_report.items()},
+            "wall_s": {a: r["wall_s"] for a, r in _phase_report.items()},
+            "makespan_checksum": payload["makespan_checksum"],
+        },
+    )
+    runlog.append(record)
+    print(f"ledger: appended bench record {record.run_id}")

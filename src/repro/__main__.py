@@ -12,6 +12,12 @@ Commands:
   per-phase cost breakdown (routing / insertion / processor selection),
 - ``ablation`` — run one of the named design-choice ablations,
 - ``export``   — schedule a workload and write SVG / Chrome-trace / JSON,
+- ``explain``  — schedule a workload and attribute its makespan: walk the
+  binding chain backwards from the finish and break the critical path into
+  compute / transfer / contention-wait / idle segments per resource,
+- ``runs``     — query the run ledger (``list`` / ``show`` / ``diff`` /
+  ``compare --baseline BENCH_*.json``); every ``schedule`` / ``figures`` /
+  bench invocation appends a record under ``.repro-runs/``,
 - ``lint``     — run the repo-specific static-analysis rules (determinism,
   float discipline, obs guards, transaction safety; see
   ``docs/static_analysis.md``),
@@ -27,6 +33,8 @@ from repro import __version__
 
 
 def _cmd_figures(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
     from repro.experiments import ALL_FIGURES, ExperimentConfig, ResultCache
     from repro.experiments.cache import default_cache_dir
 
@@ -46,26 +54,50 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             config = ExperimentConfig.smoke(heterogeneous=hetero)
         else:
             config = ExperimentConfig.default(heterogeneous=hetero)
+        t0 = perf_counter()
         fig = ALL_FIGURES[name](config, jobs=args.jobs, cache=cache)
+        wall = perf_counter() - t0
         print(fig.to_text(plot=args.plot))
         print()
+        if not args.no_runlog:
+            from repro.experiments.cache import config_fingerprint
+            from repro.obs import runlog
+
+            telemetry = getattr(fig, "telemetry", None)
+            record = runlog.new_record(
+                "sweep",
+                config_fingerprint=config_fingerprint(config),
+                argv=getattr(args, "_argv", []),
+                wall_s=wall,
+                meta={
+                    "figure": name,
+                    "scale": args.scale,
+                    "jobs": args.jobs,
+                    **(
+                        {"telemetry": telemetry.summary_dict()}
+                        if telemetry is not None
+                        else {}
+                    ),
+                },
+            )
+            runlog.append(record, args.runs_dir)
+            # Stderr so stdout stays byte-identical for any ledger/cache state.
+            print(f"[ledger] {name}: run {record.run_id}", file=sys.stderr)
+            if telemetry is not None:
+                print(telemetry.to_text(prefix=f"[sweep] {name}: "), file=sys.stderr)
     if cache is not None:
-        # Stderr so stdout stays byte-identical between cold and warm runs.
         print(f"[cache] {cache.root}: {cache.stats.to_text()}", file=sys.stderr)
     return 0
 
 
-def _cmd_schedule(args: argparse.Namespace) -> int:
-    from repro import obs
-    from repro.core import SCHEDULERS
-    from repro.core.validate import validate_schedule
+def _workload_from_args(args: argparse.Namespace):
+    """Build the (graph, net) pair the ``schedule``/``explain`` flags describe."""
     from repro.network.builders import TOPOLOGY_BUILDERS
     from repro.taskgraph.ccr import scale_to_ccr
     from repro.taskgraph.generators import random_layered_dag
     from repro.taskgraph.kernels import KERNELS
-    from repro.viz.report import schedule_report
 
-    if args.kernel:
+    if getattr(args, "kernel", None):
         graph = KERNELS[args.kernel](args.size, rng=args.seed)
     else:
         graph = random_layered_dag(args.tasks, rng=args.seed)
@@ -76,7 +108,37 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         net = builder(args.procs, args.procs, rng=args.seed + 1)
     else:
         net = builder(args.procs, rng=args.seed + 1)
-    observing = args.stats or args.trace_out is not None
+    return graph, net
+
+
+def _workload_fingerprint_doc(args: argparse.Namespace, command: str) -> dict:
+    """The ledger fingerprint of a CLI-described workload + algorithm."""
+    return {
+        "command": command,
+        "algorithm": args.algorithm,
+        "tasks": args.tasks,
+        "kernel": getattr(args, "kernel", None),
+        "size": getattr(args, "size", None),
+        "ccr": args.ccr,
+        "topology": args.topology,
+        "procs": args.procs,
+        "seed": args.seed,
+    }
+
+
+def _cmd_schedule(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
+    from repro import obs
+    from repro.core import SCHEDULERS
+    from repro.core.validate import validate_schedule
+    from repro.viz.report import schedule_report
+
+    graph, net = _workload_from_args(args)
+    want_stats = args.stats or args.trace_out is not None
+    # The ledger wants the run's counters even when the user didn't ask for
+    # --stats, so observability is on unless the ledger is off too.
+    observing = want_stats or not args.no_runlog
     if observing:
         sink = obs.JsonlSink(args.trace_out) if args.trace_out else obs.ListSink()
         obs.enable(sink)
@@ -87,16 +149,267 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
                   "schedulers (annealing, genetic)")
             return 2
         kwargs["incremental"] = False
+    t0 = perf_counter()
     try:
         schedule = SCHEDULERS[args.algorithm](**kwargs).schedule(graph, net)
     finally:
         if observing:
             obs.disable()
+    wall = perf_counter() - t0
     validate_schedule(schedule)
+    stats = schedule.stats
+    if not want_stats:
+        # Ledger-only instrumentation: keep stdout identical to a plain run.
+        schedule.stats = None
     print(schedule_report(schedule, gantt=not args.no_gantt))
     if args.trace_out:
         print(f"\nwrote decision-event log to {args.trace_out}")
+    if not args.no_runlog:
+        from repro.obs import runlog
+
+        record = runlog.new_record(
+            "schedule",
+            fingerprint_doc={
+                **_workload_fingerprint_doc(args, "schedule"),
+                "incremental": not args.no_incremental,
+            },
+            argv=getattr(args, "_argv", []),
+            makespans={args.algorithm: schedule.makespan},
+            metrics=stats.metrics if stats is not None else {},
+            timings=stats.timings if stats is not None else {},
+            wall_s=wall,
+            meta={"n_tasks": len(schedule.placements), "n_procs": args.procs},
+        )
+        runlog.append(record, args.runs_dir)
+        print(f"[ledger] run {record.run_id}", file=sys.stderr)
     return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    from time import perf_counter
+
+    from repro import obs
+    from repro.core import SCHEDULERS
+    from repro.core.explain import explain
+    from repro.core.validate import validate_schedule
+    from repro.viz.report import explain_report
+
+    graph, net = _workload_from_args(args)
+    observing = not args.no_runlog
+    if observing:
+        obs.enable(obs.ListSink())
+    t0 = perf_counter()
+    try:
+        schedule = SCHEDULERS[args.algorithm]().schedule(graph, net)
+    finally:
+        if observing:
+            obs.disable()
+    wall = perf_counter() - t0
+    validate_schedule(schedule)
+    explanation = explain(schedule)
+    if args.json:
+        import json
+
+        print(json.dumps(explanation.to_dict(), indent=1, sort_keys=True))
+    else:
+        print(explain_report(explanation, chain=not args.no_chain))
+    if args.trace_out:
+        from repro.viz.trace import schedule_to_trace
+
+        with open(args.trace_out, "w") as fh:
+            fh.write(schedule_to_trace(schedule, explanation=explanation))
+        print(f"\nwrote Perfetto trace with critical-path track to "
+              f"{args.trace_out}")
+    if not args.no_runlog:
+        from repro.obs import runlog
+
+        stats = schedule.stats
+        record = runlog.new_record(
+            "schedule",
+            fingerprint_doc=_workload_fingerprint_doc(args, "explain"),
+            argv=getattr(args, "_argv", []),
+            makespans={args.algorithm: schedule.makespan},
+            metrics=stats.metrics if stats is not None else {},
+            timings=stats.timings if stats is not None else {},
+            wall_s=wall,
+            meta={
+                "command": "explain",
+                "by_category": explanation.by_category(),
+                "binding_resources": explanation.binding_resources()[:5],
+            },
+        )
+        runlog.append(record, args.runs_dir)
+        print(f"[ledger] run {record.run_id}", file=sys.stderr)
+    return 0
+
+
+def _cmd_runs_list(args: argparse.Namespace) -> int:
+    from repro.obs.runlog import RunLedger
+    from repro.utils.tables import format_table
+
+    ledger = RunLedger(args.runs_dir)
+    records = ledger.records(kind=args.kind)
+    if args.last:
+        records = records[-args.last:]
+    if not records:
+        print(f"(no runs recorded under {ledger.root})")
+        return 0
+    rows = []
+    for r in records:
+        makespans = ", ".join(
+            f"{algo}={r.makespans[algo]:g}" for algo in sorted(r.makespans)[:3]
+        )
+        if len(r.makespans) > 3:
+            makespans += f", +{len(r.makespans) - 3} more"
+        rows.append(
+            [r.run_id, r.kind, r.created_at[:19], makespans or "-",
+             r.fingerprint[:12]]
+        )
+    print(format_table(["run", "kind", "created (UTC)", "makespans", "config"], rows))
+    return 0
+
+
+def _cmd_runs_show(args: argparse.Namespace) -> int:
+    from repro.exceptions import ObsError
+    from repro.obs.runlog import RunLedger
+
+    try:
+        record = RunLedger(args.runs_dir).get(args.run_id)
+    except ObsError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(record.to_text())
+    return 0
+
+
+def _cmd_runs_diff(args: argparse.Namespace) -> int:
+    from repro.exceptions import ObsError
+    from repro.obs.runlog import RunLedger
+    from repro.utils.tables import format_table
+
+    ledger = RunLedger(args.runs_dir)
+    try:
+        a, b = ledger.get(args.a), ledger.get(args.b)
+    except ObsError as exc:
+        print(exc, file=sys.stderr)
+        return 1
+    print(f"a: run {a.run_id}  [{a.kind}]  {a.created_at}")
+    print(f"b: run {b.run_id}  [{b.kind}]  {b.created_at}")
+    if a.fingerprint != b.fingerprint:
+        print("note: configs differ (fingerprints "
+              f"{a.fingerprint[:12]} vs {b.fingerprint[:12]})")
+    print()
+    rows = []
+    for algo in sorted(set(a.makespans) | set(b.makespans)):
+        ma, mb = a.makespans.get(algo), b.makespans.get(algo)
+        delta = f"{mb - ma:+g}" if ma is not None and mb is not None else "-"
+        rows.append([f"makespan[{algo}]",
+                     f"{ma:g}" if ma is not None else "-",
+                     f"{mb:g}" if mb is not None else "-", delta])
+    counters_a = a.metrics.get("counters", {})
+    counters_b = b.metrics.get("counters", {})
+    for name in sorted(set(counters_a) | set(counters_b)):
+        va, vb = counters_a.get(name, 0.0), counters_b.get(name, 0.0)
+        if va != vb or args.all:
+            rows.append([name, f"{va:g}", f"{vb:g}", f"{vb - va:+g}"])
+    for phase in sorted(set(a.timings) | set(b.timings)):
+        ta = a.timings.get(phase, {}).get("total", 0.0)
+        tb = b.timings.get(phase, {}).get("total", 0.0)
+        rows.append([f"{phase} (ms)", f"{ta * 1e3:.3f}", f"{tb * 1e3:.3f}",
+                     f"{(tb - ta) * 1e3:+.3f}"])
+    if a.wall_s is not None and b.wall_s is not None:
+        rows.append(["wall (ms)", f"{a.wall_s * 1e3:.1f}",
+                     f"{b.wall_s * 1e3:.1f}",
+                     f"{(b.wall_s - a.wall_s) * 1e3:+.1f}"])
+    if not rows:
+        print("(no comparable quantities)")
+        return 0
+    print(format_table(["quantity", "a", "b", "delta"], rows))
+    return 0
+
+
+def _fresh_bench_record(baseline: dict):
+    """Re-run the scheduler-cost bench workload and build a ledger record.
+
+    Replicates ``benchmarks/bench_scheduler_cost.py``'s instrumented pass
+    (NullSink + reset + full counter snapshot) on the shared
+    :func:`~repro.experiments.workloads.scheduler_cost_workload`, so the
+    record's counters are directly comparable to the committed baseline.
+    """
+    from time import perf_counter
+
+    from repro import obs
+    from repro.core import SCHEDULERS
+    from repro.experiments.workloads import (
+        SCHEDULER_COST_PARAMS,
+        scheduler_cost_workload,
+    )
+    from repro.obs import runlog
+
+    algorithms = sorted(set(baseline.get("algorithms", {})) & set(SCHEDULERS))
+    makespans: dict[str, float] = {}
+    counters: dict[str, dict] = {}
+    walls: dict[str, float] = {}
+    for algo in algorithms:
+        # Fresh instance per algorithm, matching the bench: route tables live
+        # on the topology, so sharing one would warm later algorithms' caches.
+        workload = scheduler_cost_workload()
+        obs.enable(obs.NullSink())
+        obs.reset()
+        try:
+            t0 = perf_counter()
+            schedule = SCHEDULERS[algo]().schedule(workload.graph, workload.net)
+            walls[algo] = perf_counter() - t0
+            counters[algo] = obs.METRICS.snapshot()["counters"]
+        finally:
+            obs.disable()
+        makespans[algo] = schedule.makespan
+    return runlog.new_record(
+        "bench",
+        fingerprint_doc={
+            "bench": "scheduler_cost",
+            "params": SCHEDULER_COST_PARAMS,
+            "algorithms": algorithms,
+        },
+        makespans=makespans,
+        meta={"counters": counters, "wall_s": walls},
+    )
+
+
+def _cmd_runs_compare(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.obs import runlog
+    from repro.obs.runlog import RunLedger, compare_to_baseline
+
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    ledger = RunLedger(args.runs_dir)
+    record = None if args.fresh else ledger.latest(kind="bench")
+    if record is None:
+        print(f"no bench record in {ledger.root}; running the bench workload "
+              "fresh", file=sys.stderr)
+        record = _fresh_bench_record(baseline)
+        runlog.append(record, args.runs_dir)
+    findings = compare_to_baseline(
+        record,
+        baseline,
+        rel_tol=args.rel_tol,
+        counter_tol=args.counter_tol,
+        wall_tol=args.wall_tol,
+    )
+    print(f"comparing run {record.run_id} ({record.created_at}) against "
+          f"{args.baseline}")
+    if not findings:
+        checked = len(baseline.get("algorithms", {}))
+        print(f"OK: {checked} algorithms within tolerance "
+              f"(makespan rel tol {args.rel_tol:g}, counter rel tol "
+              f"{args.counter_tol:g})")
+        return 0
+    for f in findings:
+        print(f"REGRESSION: {f.message}")
+    print(f"{len(findings)} regression(s) found")
+    return 1
 
 
 #: workload sizes for ``profile`` (tasks, processors)
@@ -216,6 +529,17 @@ def _cmd_info(args: argparse.Namespace) -> int:  # noqa: ARG001
     return 0
 
 
+def _add_runlog_arguments(p: argparse.ArgumentParser) -> None:
+    p.add_argument(
+        "--runs-dir", default=None, metavar="DIR",
+        help="run ledger location (default: $REPRO_RUNS_DIR or .repro-runs)",
+    )
+    p.add_argument(
+        "--no-runlog", action="store_true",
+        help="do not append this run to the run ledger",
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(prog="python -m repro", description=__doc__)
     parser.add_argument("--version", action="version", version=__version__)
@@ -238,6 +562,7 @@ def build_parser() -> argparse.ArgumentParser:
         help="result cache location (default: $REPRO_CACHE_DIR or "
         "~/.cache/repro/experiments)",
     )
+    _add_runlog_arguments(p)
     p.set_defaults(fn=_cmd_figures)
 
     from repro.core import SCHEDULERS
@@ -266,7 +591,81 @@ def build_parser() -> argparse.ArgumentParser:
         "re-simulation instead of the incremental prefix-reusing evaluator "
         "(annealing/genetic only; results are bit-identical either way)",
     )
+    _add_runlog_arguments(p)
     p.set_defaults(fn=_cmd_schedule)
+
+    p = sub.add_parser(
+        "explain",
+        help="schedule a workload and attribute its makespan to resources",
+    )
+    p.add_argument("--algorithm", choices=sorted(SCHEDULERS), default="oihsa")
+    p.add_argument("--tasks", type=int, default=30, help="random layered DAG size")
+    p.add_argument("--kernel", default=None, help="use a named kernel instead")
+    p.add_argument("--size", type=int, default=5, help="kernel size parameter")
+    p.add_argument("--ccr", type=float, default=None)
+    p.add_argument("--topology", default="random_wan")
+    p.add_argument("--procs", type=int, default=8)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--json", action="store_true",
+                   help="emit the attribution as JSON instead of tables")
+    p.add_argument("--no-chain", action="store_true",
+                   help="omit the segment-by-segment binding chain table")
+    p.add_argument(
+        "--trace-out", default=None, metavar="PATH",
+        help="write a Perfetto trace with the critical path as a "
+        "highlighted track",
+    )
+    _add_runlog_arguments(p)
+    p.set_defaults(fn=_cmd_explain)
+
+    p = sub.add_parser(
+        "runs",
+        help="query the run ledger (list / show / diff / compare)",
+    )
+    runs_sub = p.add_subparsers(dest="runs_command", required=True)
+
+    q = runs_sub.add_parser("list", help="list recorded runs, oldest first")
+    q.add_argument("--kind", choices=("schedule", "sweep", "bench"), default=None)
+    q.add_argument("-n", "--last", type=int, default=0, metavar="N",
+                   help="show only the most recent N runs")
+    q.add_argument("--runs-dir", default=None, metavar="DIR")
+    q.set_defaults(fn=_cmd_runs_list)
+
+    q = runs_sub.add_parser("show", help="print one run record in full")
+    q.add_argument("run_id", help="run id (unambiguous prefix accepted)")
+    q.add_argument("--runs-dir", default=None, metavar="DIR")
+    q.set_defaults(fn=_cmd_runs_show)
+
+    q = runs_sub.add_parser(
+        "diff", help="makespan / counter / timing deltas between two runs"
+    )
+    q.add_argument("a", help="baseline run id (prefix accepted)")
+    q.add_argument("b", help="comparison run id (prefix accepted)")
+    q.add_argument("--all", action="store_true",
+                   help="include counters that did not change")
+    q.add_argument("--runs-dir", default=None, metavar="DIR")
+    q.set_defaults(fn=_cmd_runs_diff)
+
+    q = runs_sub.add_parser(
+        "compare",
+        help="regression verdict of the latest bench run against a "
+        "BENCH_*.json baseline (exit 1 on regression)",
+    )
+    q.add_argument("--baseline", required=True, metavar="PATH",
+                   help="committed BENCH_*.json report to compare against")
+    q.add_argument("--fresh", action="store_true",
+                   help="re-run the bench workload instead of using the "
+                   "latest ledger record")
+    q.add_argument("--rel-tol", type=float, default=0.0, metavar="T",
+                   help="relative makespan tolerance (default 0: exact — "
+                   "the engines are deterministic)")
+    q.add_argument("--counter-tol", type=float, default=0.0, metavar="T",
+                   help="relative decision-counter tolerance (default 0)")
+    q.add_argument("--wall-tol", type=float, default=None, metavar="X",
+                   help="fail when wall time exceeds X times the baseline "
+                   "(default: wall time is reported, never gated)")
+    q.add_argument("--runs-dir", default=None, metavar="DIR")
+    q.set_defaults(fn=_cmd_runs_compare)
 
     p = sub.add_parser(
         "profile",
@@ -312,6 +711,9 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    # The raw argv goes into ledger records; sys.argv would show the test
+    # runner's own arguments when main() is invoked programmatically.
+    args._argv = list(argv) if argv is not None else sys.argv[1:]
     try:
         return args.fn(args)
     except BrokenPipeError:

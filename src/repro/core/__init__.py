@@ -23,6 +23,13 @@ from repro.core.analysis import (
     schedule_critical_chain,
     contention_hotspots,
 )
+from repro.core.explain import (
+    ChainSegment,
+    ResourceTimeline,
+    ScheduleExplanation,
+    explain,
+    utilization_timelines,
+)
 from repro.core.annealing import AnnealingScheduler
 from repro.core.eventsim import resimulate, SimReport
 from repro.core.genetic import GeneticScheduler
@@ -75,6 +82,11 @@ __all__ = [
     "processor_breakdown",
     "schedule_critical_chain",
     "contention_hotspots",
+    "ChainSegment",
+    "ResourceTimeline",
+    "ScheduleExplanation",
+    "explain",
+    "utilization_timelines",
     "schedule_to_json",
     "schedule_from_json",
     "replay_under_contention",

@@ -1,0 +1,382 @@
+"""Makespan attribution: *why* does the schedule finish when it does?
+
+:func:`explain` walks a finished :class:`~repro.core.schedule.Schedule`
+backwards from the makespan-defining task along its binding constraints —
+the same walk as :func:`~repro.core.analysis.schedule_critical_chain`, but
+decomposed to resource granularity — and tiles ``[0, makespan]`` with
+:class:`ChainSegment` s:
+
+=============  ================================================================
+``compute``    a task executing on its processor
+``transfer``   an edge's data occupying a link (or a same-processor handoff)
+``link_wait``  data ready to enter a link but queued behind other transfers
+               (contention — the quantity the paper's algorithms minimize)
+``proc_wait``  a task ready to run but its processor's insertion slot opened
+               later (end-technique queueing)
+``idle``       a processor idle before its first chain task (ramp-up)
+=============  ================================================================
+
+Segment boundaries are *shared floats* — each segment ends exactly where the
+next begins — so durations telescope and the attribution sums to 100% of the
+makespan bit-exactly, for every scheduler and workload.  Each segment names
+the resource it binds (``P<vid>`` or ``L<lid>``), which makes the explanation
+actionable: speeding up a binding resource must move the makespan, while a
+resource absent from every segment cannot (the property
+``tests/test_core_explain.py`` perturbs topologies to verify).
+
+:func:`utilization_timelines` complements the chain with per-processor and
+per-link busy-interval timelines over the whole schedule (not just the
+binding path), rendered by ``repro.viz.report.explain_report`` and exported
+as a highlighted track by ``repro.viz.trace``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+from repro.core.schedule import Schedule
+from repro.exceptions import SchedulingError
+from repro.types import EPS, EdgeKey, TaskId
+
+#: The closed set of segment kinds (order = render order in reports).
+SEGMENT_KINDS = ("compute", "transfer", "link_wait", "proc_wait", "idle")
+
+#: Tolerance for "this arrival/finish binds that start" boundary matches —
+#: the same tolerance the critical-chain walk in ``core.analysis`` uses.
+_BIND_TOL = 1e-6
+
+
+@dataclass(frozen=True, slots=True)
+class ChainSegment:
+    """One tile of the makespan: what the schedule was waiting on then."""
+
+    kind: str
+    start: float
+    finish: float
+    resource: str  # "P<vid>", "L<lid>", or "" when no single resource binds
+    task: TaskId | None = None
+    edge: EdgeKey | None = None
+
+    @property
+    def duration(self) -> float:
+        return self.finish - self.start
+
+
+@dataclass(frozen=True, slots=True)
+class ResourceTimeline:
+    """Merged busy intervals of one resource over the whole schedule."""
+
+    resource: str
+    busy: tuple[tuple[float, float], ...]
+
+    @property
+    def busy_time(self) -> float:
+        return sum(f - s for s, f in self.busy)
+
+    def utilization(self, makespan: float) -> float:
+        return self.busy_time / makespan if makespan > 0 else 0.0
+
+
+@dataclass(frozen=True)
+class ScheduleExplanation:
+    """The makespan attribution of one schedule (result of :func:`explain`)."""
+
+    algorithm: str
+    makespan: float
+    segments: tuple[ChainSegment, ...]
+    timelines: tuple[ResourceTimeline, ...]
+
+    def by_category(self) -> dict[str, float]:
+        """Total time per segment kind (only kinds that occurred)."""
+        out: dict[str, float] = {}
+        for seg in self.segments:
+            out[seg.kind] = out.get(seg.kind, 0.0) + seg.duration
+        return out
+
+    def by_resource(self) -> dict[str, float]:
+        """Total binding time per resource, largest share first."""
+        acc: dict[str, float] = {}
+        for seg in self.segments:
+            key = seg.resource or "(unattributed)"
+            acc[key] = acc.get(key, 0.0) + seg.duration
+        return dict(sorted(acc.items(), key=lambda kv: (-kv[1], kv[0])))
+
+    def binding_resources(self) -> list[str]:
+        """Resources on the critical path, largest attributed share first."""
+        return [r for r in self.by_resource() if r != "(unattributed)"]
+
+    def attributed_total(self) -> float:
+        """Sum of all segment durations.
+
+        Equals :attr:`makespan` bit-exactly: segments share boundary floats,
+        so the sum telescopes to ``last.finish - first.start``.
+        """
+        return sum(seg.duration for seg in self.segments)
+
+    def timeline(self, resource: str) -> ResourceTimeline | None:
+        for tl in self.timelines:
+            if tl.resource == resource:
+                return tl
+        return None
+
+    def to_dict(self) -> dict:
+        """JSON-ready form (CLI ``explain --json``)."""
+        return {
+            "algorithm": self.algorithm,
+            "makespan": self.makespan,
+            "segments": [
+                {
+                    "kind": s.kind,
+                    "start": s.start,
+                    "finish": s.finish,
+                    "resource": s.resource,
+                    "task": s.task,
+                    "edge": list(s.edge) if s.edge is not None else None,
+                }
+                for s in self.segments
+            ],
+            "by_category": self.by_category(),
+            "by_resource": self.by_resource(),
+            "utilization": {
+                tl.resource: {
+                    "busy": tl.busy_time,
+                    "utilization": tl.utilization(self.makespan),
+                }
+                for tl in self.timelines
+            },
+        }
+
+
+# -- hop occupancy ------------------------------------------------------------
+
+
+def _hop_intervals(
+    schedule: Schedule, edge: EdgeKey
+) -> list[tuple[int, float, float]] | None:
+    """Per-hop ``(lid, start, finish)`` link occupancy of one routed edge.
+
+    ``None`` when the schedule carries no link bookings for the edge (the
+    contention-free classic scheduler, or a same-processor edge).
+    """
+    ls = schedule.link_state
+    if ls is not None and ls.has_route(edge):
+        out = []
+        for lid in ls.route_of(edge):
+            if ls.has_slot(edge, lid):
+                slot = ls.slot_of(edge, lid)
+                out.append((lid, slot.start, slot.finish))
+        return out or None
+    bs = schedule.bandwidth_state
+    if bs is not None and bs.has_route(edge):
+        by_lid = {b.lid: b for b in bs.bookings_of(edge)}
+        out = []
+        for lid in bs.route_of(edge):
+            booking = by_lid.get(lid)
+            if booking is None or not booking.usage:
+                continue
+            out.append(
+                (
+                    lid,
+                    min(seg.start for seg in booking.usage),
+                    max(seg.finish for seg in booking.usage),
+                )
+            )
+        return out or None
+    ps = schedule.packet_state
+    if ps is not None and ps.has_route(edge):
+        out = []
+        for lid in ps.route_of(edge):
+            slots = ps.slots_of(edge, lid)
+            if not slots:
+                continue
+            out.append(
+                (
+                    lid,
+                    min(s.start for s in slots),
+                    max(s.finish for s in slots),
+                )
+            )
+        return out or None
+    return None
+
+
+def _comm_segments(
+    schedule: Schedule, edge: EdgeKey, t_from: float, b: float
+) -> list[ChainSegment]:
+    """Tile the comm interval ``[t_from, b]`` of one binding edge, backwards.
+
+    Walks the route's hops last-to-first: each hop contributes a ``transfer``
+    segment down to its occupancy start, and any remaining gap back to the
+    previous hop's exit (or the source task's finish for the first hop) is
+    ``link_wait`` — contention on that hop's link.  Returned newest-first,
+    like the caller's backward walk.
+    """
+    segments: list[ChainSegment] = []
+    hops = _hop_intervals(schedule, edge)
+    if not hops:
+        if b > t_from:
+            segments.append(
+                ChainSegment("transfer", t_from, b, "", edge=edge)
+            )
+        return segments
+    for i in range(len(hops) - 1, -1, -1):
+        lid, hop_start, _hop_finish = hops[i]
+        s = min(hop_start, b)
+        if b > s:
+            segments.append(
+                ChainSegment("transfer", s, b, f"L{lid}", edge=edge)
+            )
+            b = s
+        entry = hops[i - 1][2] if i > 0 else t_from
+        entry = min(entry, b)
+        if b > entry:
+            segments.append(
+                ChainSegment("link_wait", entry, b, f"L{lid}", edge=edge)
+            )
+            b = entry
+    return segments
+
+
+# -- the walk ------------------------------------------------------------------
+
+
+def explain(schedule: Schedule) -> ScheduleExplanation:
+    """Attribute every instant of the makespan to a binding resource."""
+    placements = schedule.placements
+    timelines = utilization_timelines(schedule)
+    if not placements:
+        return ScheduleExplanation(schedule.algorithm, 0.0, (), tuple(timelines))
+
+    by_proc: dict[int, list] = {}
+    for pl in placements.values():
+        by_proc.setdefault(pl.processor, []).append(pl)
+    for pls in by_proc.values():
+        pls.sort(key=lambda p: p.start)
+
+    segments: list[ChainSegment] = []  # built newest-first
+    current = max(placements.values(), key=lambda p: (p.finish, p.task))
+    b = current.finish  # == makespan
+    makespan = b
+    guard = 0
+    while True:
+        guard += 1
+        if guard > len(placements) * 4:
+            raise SchedulingError("explain walk failed to terminate")
+        s = min(current.start, b)
+        if b > s:
+            segments.append(
+                ChainSegment(
+                    "compute", s, b, f"P{current.processor}", task=current.task
+                )
+            )
+            b = s
+        if b <= EPS:
+            break
+        # Data-bound: an in-edge arrives exactly at our start.
+        binding = None
+        for e in schedule.graph.in_edges(current.task):
+            arrival = schedule.edge_arrivals.get(e.key)
+            if arrival is not None and abs(arrival - current.start) <= _BIND_TOL:
+                binding = e
+                break
+        if binding is not None:
+            src_pl = placements[binding.src]
+            segments.extend(
+                _comm_segments(schedule, binding.key, src_pl.finish, b)
+            )
+            b = min(src_pl.finish, b)
+            current = src_pl
+            continue
+        # Processor-bound: the previous task on this processor ends at our start.
+        pls = by_proc[current.processor]
+        idx = pls.index(current)
+        if idx > 0 and abs(pls[idx - 1].finish - current.start) <= _BIND_TOL:
+            current = pls[idx - 1]
+            continue
+        # Data arrived before our start but nothing binds exactly: the
+        # end-technique queued the task behind its processor's insertion
+        # order.  The gap back to the latest arrival is processor queueing.
+        in_edges = schedule.graph.in_edges(current.task)
+        if in_edges:
+            e = max(
+                in_edges, key=lambda e: schedule.edge_arrivals.get(e.key, 0.0)
+            )
+            src_pl = placements[e.src]
+            arrival = schedule.edge_arrivals.get(e.key, src_pl.finish)
+            gap_to = min(arrival, b)
+            if b > gap_to:
+                segments.append(
+                    ChainSegment(
+                        "proc_wait", gap_to, b, f"P{current.processor}",
+                        task=current.task,
+                    )
+                )
+                b = gap_to
+            segments.extend(
+                _comm_segments(schedule, e.key, src_pl.finish, b)
+            )
+            b = min(src_pl.finish, b)
+            current = src_pl
+            continue
+        # An entry task that idled: the processor sat empty before it.
+        break
+    if b > 0.0:
+        segments.append(
+            ChainSegment("idle", 0.0, b, f"P{current.processor}")
+        )
+    segments.reverse()
+    return ScheduleExplanation(
+        schedule.algorithm, makespan, tuple(segments), tuple(timelines)
+    )
+
+
+# -- utilization timelines -----------------------------------------------------
+
+
+def _merge_intervals(
+    intervals: Iterable[tuple[float, float]],
+) -> tuple[tuple[float, float], ...]:
+    """Sort and coalesce overlapping/adjacent ``(start, finish)`` intervals."""
+    merged: list[tuple[float, float]] = []
+    for s, f in sorted(i for i in intervals if i[1] > i[0]):
+        if merged and s <= merged[-1][1]:
+            if f > merged[-1][1]:
+                merged[-1] = (merged[-1][0], f)
+        else:
+            merged.append((s, f))
+    return tuple(merged)
+
+
+def utilization_timelines(schedule: Schedule) -> list[ResourceTimeline]:
+    """Busy intervals of every used processor and link, processors first."""
+    out: list[ResourceTimeline] = []
+    by_proc: dict[int, list[tuple[float, float]]] = {}
+    for pl in schedule.placements.values():
+        by_proc.setdefault(pl.processor, []).append((pl.start, pl.finish))
+    for vid in sorted(by_proc):
+        out.append(ResourceTimeline(f"P{vid}", _merge_intervals(by_proc[vid])))
+
+    by_link: dict[int, list[tuple[float, float]]] = {}
+    ls = schedule.link_state
+    if ls is not None:
+        for lid in ls.used_links():
+            by_link.setdefault(lid, []).extend(
+                (slot.start, slot.finish) for slot in ls.slots(lid)
+            )
+    bs = schedule.bandwidth_state
+    if bs is not None:
+        for edge in bs.routes():
+            for booking in bs.bookings_of(edge):
+                by_link.setdefault(booking.lid, []).extend(
+                    (seg.start, seg.finish) for seg in booking.usage
+                )
+    ps = schedule.packet_state
+    if ps is not None:
+        for lid in ps.used_links():
+            by_link.setdefault(lid, []).extend(
+                (slot.start, slot.finish) for slot in ps.slots(lid)
+            )
+    for lid in sorted(by_link):
+        out.append(ResourceTimeline(f"L{lid}", _merge_intervals(by_link[lid])))
+    return out

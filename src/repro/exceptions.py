@@ -43,3 +43,7 @@ class ValidationError(ReproError):
 
 class SerializationError(ReproError):
     """A graph/topology/schedule document could not be parsed or written."""
+
+
+class ObsError(ReproError):
+    """An observability artifact (event log, run ledger) is malformed."""

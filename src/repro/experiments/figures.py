@@ -22,6 +22,7 @@ import numpy as np
 
 from repro.exceptions import ReproError
 from repro.experiments.config import ExperimentConfig, PAPER_CCRS, PAPER_PROC_COUNTS
+from repro.experiments.parallel import SweepTelemetry
 from repro.experiments.runner import improvement_series
 from repro.utils.tables import format_series
 
@@ -71,6 +72,10 @@ class FigureResult:
     measured: dict[str, list[float]]
     paper: dict[str, list[float]]
     shape_checks: dict[str, bool] = field(default_factory=dict)
+    #: execution telemetry of the generating sweep (worker utilization,
+    #: cache-hit attribution); rendered to stderr by the figures CLI and
+    #: summarized into the run ledger — never part of ``to_text()`` stdout.
+    telemetry: "SweepTelemetry | None" = None
 
     def run_shape_checks(self) -> dict[str, bool]:
         """Qualitative agreement criteria (see DESIGN.md Section 4)."""
@@ -137,7 +142,10 @@ def _figure(
         raise ReproError(
             f"{figure_id} needs heterogeneous={heterogeneous}, config says otherwise"
         )
-    series = improvement_series(config, sweep=sweep, jobs=jobs, cache=cache)
+    telemetry_out: list = []
+    series = improvement_series(
+        config, sweep=sweep, jobs=jobs, cache=cache, telemetry_out=telemetry_out
+    )
     x_values = series.pop("_x")
     paper_x = PAPER_CCRS if sweep == "ccr" else tuple(float(p) for p in PAPER_PROC_COUNTS)
     result = FigureResult(
@@ -147,6 +155,7 @@ def _figure(
         x_values=x_values,
         measured=series,
         paper=_interp_reference(reference, paper_x, x_values),
+        telemetry=telemetry_out[0] if telemetry_out else None,
     )
     result.run_shape_checks()
     return result

@@ -38,6 +38,8 @@ written back for the next sweep.
 
 from __future__ import annotations
 
+import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
@@ -46,6 +48,7 @@ import numpy as np
 from repro.exceptions import ReproError
 from repro.experiments.cache import ResultCache, config_fingerprint, unit_key
 from repro.experiments.config import ExperimentConfig
+from repro.obs.profile import Timings
 from repro.utils.rng import as_rng
 
 
@@ -85,6 +88,16 @@ class UnitResult:
     makespans: dict[str, float]
     counters: dict[str, dict[str, float]] | None = None
     cached: bool = False
+    #: algorithms actually scheduled in this run (not served from cache)
+    fresh_algorithms: tuple[str, ...] = ()
+    #: per-algorithm phase spans of the fresh runs (``None`` when obs was off)
+    timings: dict[str, Timings] | None = None
+    #: wall-clock execution telemetry of the fresh work.  Nondeterministic —
+    #: excluded from the deterministic telemetry subset and from caching.
+    wall_s: float | None = None
+    worker: int | None = None
+    t_start: float | None = None
+    t_end: float | None = None
 
 
 def plan_sweep(
@@ -149,6 +162,8 @@ def run_unit(
         # counter/timing capture without event transport.
         obs.enable(obs.NullSink())
         enabled_here = True
+    t_start = time.time()
+    clock_start = time.perf_counter()
     try:
         rng = np.random.default_rng(unit.seed_seq)
         instance = paper_workload(config, unit.ccr, unit.n_procs, rng)
@@ -156,10 +171,16 @@ def run_unit(
     finally:
         if enabled_here:
             obs.disable()
+    wall = time.perf_counter() - clock_start
     counters: dict[str, dict[str, float]] | None = None
+    timings: dict[str, Timings] | None = None
     if result.stats:
         counters = {
             name: dict(stats.metrics.get("counters", {}))
+            for name, stats in result.stats.items()
+        }
+        timings = {
+            name: {phase: dict(rec) for phase, rec in stats.timings.items()}
             for name, stats in result.stats.items()
         }
     return UnitResult(
@@ -167,6 +188,12 @@ def run_unit(
         point_idx=unit.point_idx,
         makespans=dict(result.makespans),
         counters=counters,
+        fresh_algorithms=tuple(algorithms),
+        timings=timings,
+        wall_s=wall,
+        worker=os.getpid(),
+        t_start=t_start,
+        t_end=time.time(),
     )
 
 
@@ -291,8 +318,166 @@ def execute_units(
                 point_idx=unit.point_idx,
                 makespans=makespans,
                 counters=counters,
+                fresh_algorithms=res.fresh_algorithms,
+                timings=res.timings,
+                wall_s=res.wall_s,
+                worker=res.worker,
+                t_start=res.t_start,
+                t_end=res.t_end,
             )
     return [r for r in results if r is not None]
+
+
+@dataclass(frozen=True)
+class SweepTelemetry:
+    """Cross-process execution telemetry of one sweep, merged order-fixed.
+
+    Built by :func:`collect_telemetry` from the unit results in **unit-index
+    order** regardless of which worker produced them or when they completed,
+    so the deterministic subset — counters, span counts, cache attribution —
+    is byte-identical for any ``jobs`` count (asserted by
+    ``tests/test_parallel_equivalence.py``).  Wall-clock quantities (unit
+    wall time, worker pids, start/end stamps) ride along for the
+    worker-utilization report but are excluded from the deterministic form.
+    """
+
+    #: per-unit entries, ascending unit index (see :func:`collect_telemetry`)
+    units: tuple[dict, ...] = ()
+
+    def to_dict(self, *, deterministic_only: bool = False) -> dict:
+        """JSON-ready form.
+
+        With ``deterministic_only=True``, wall-clock fields (``wall_s``,
+        ``worker``, ``t_start``, ``t_end``) and span *totals* are dropped and
+        only span **counts** are kept — everything left is a pure function of
+        (config, seeds, algorithms), identical for any worker count.
+        """
+        if not deterministic_only:
+            return {"units": [dict(u) for u in self.units]}
+        units = []
+        for u in self.units:
+            entry = {
+                k: u[k]
+                for k in (
+                    "index", "point_idx", "cached", "fresh_algorithms",
+                    "cached_algorithms", "counters",
+                )
+            }
+            timings = u.get("timings")
+            if timings is not None:
+                entry["span_counts"] = {
+                    algo: {
+                        phase: int(rec["count"]) for phase, rec in sorted(t.items())
+                    }
+                    for algo, t in sorted(timings.items())
+                }
+            units.append(entry)
+        return {"units": units}
+
+    # -- aggregate views -------------------------------------------------------
+
+    def cache_attribution(self) -> dict[str, int]:
+        """Unit and algorithm-run counts by where the work came from."""
+        full = sum(1 for u in self.units if u["cached"])
+        partial = sum(
+            1 for u in self.units if not u["cached"] and u["cached_algorithms"]
+        )
+        cached_runs = sum(len(u["cached_algorithms"]) for u in self.units)
+        fresh_runs = sum(len(u["fresh_algorithms"]) for u in self.units)
+        return {
+            "units": len(self.units),
+            "units_cached": full,
+            "units_partial": partial,
+            "units_fresh": len(self.units) - full - partial,
+            "algorithm_runs_cached": cached_runs,
+            "algorithm_runs_fresh": fresh_runs,
+        }
+
+    def worker_utilization(self) -> list[dict]:
+        """Per-worker busy time and span, ordered by first unit executed."""
+        by_worker: dict[int, list[dict]] = {}
+        for u in self.units:
+            if u.get("worker") is not None:
+                by_worker.setdefault(u["worker"], []).append(u)
+        out = []
+        for worker, worked in sorted(
+            by_worker.items(), key=lambda kv: min(u["index"] for u in kv[1])
+        ):
+            stamps = [
+                (u["t_start"], u["t_end"])
+                for u in worked
+                if u.get("t_start") is not None and u.get("t_end") is not None
+            ]
+            span = (
+                max(t1 for _t0, t1 in stamps) - min(t0 for t0, _t1 in stamps)
+                if stamps
+                else 0.0
+            )
+            busy = sum(u.get("wall_s") or 0.0 for u in worked)
+            out.append(
+                {
+                    "worker": worker,
+                    "units": len(worked),
+                    "busy_s": busy,
+                    "span_s": span,
+                    "utilization": busy / span if span > 0 else 1.0,
+                }
+            )
+        return out
+
+    def summary_dict(self) -> dict:
+        """Compact aggregate for run-ledger records (deterministic fields
+        plus coarse wall totals)."""
+        workers = self.worker_utilization()
+        return {
+            **self.cache_attribution(),
+            "workers": len(workers),
+            "busy_s": round(sum(w["busy_s"] for w in workers), 6),
+        }
+
+    def to_text(self, *, prefix: str = "") -> str:
+        """Cache attribution + worker-utilization lines for sweep reports."""
+        attribution = self.cache_attribution()
+        lines = [
+            f"{attribution['units']} units: {attribution['units_fresh']} fresh"
+            f", {attribution['units_partial']} partial"
+            f", {attribution['units_cached']} cached"
+            f"; cache served {attribution['algorithm_runs_cached']}/"
+            f"{attribution['algorithm_runs_cached'] + attribution['algorithm_runs_fresh']}"
+            " algorithm runs"
+        ]
+        for w in self.worker_utilization():
+            lines.append(
+                f"worker {w['worker']}: {w['units']} units, "
+                f"busy {w['busy_s']:.2f}s over {w['span_s']:.2f}s span "
+                f"({w['utilization']:.0%} utilized)"
+            )
+        return "\n".join(prefix + line for line in lines)
+
+
+def collect_telemetry(results: list[UnitResult]) -> SweepTelemetry:
+    """Merge per-unit telemetry in unit-index order (worker-count invariant)."""
+    units = []
+    for res in sorted(results, key=lambda r: r.index):
+        all_algorithms = sorted(res.makespans)
+        units.append(
+            {
+                "index": res.index,
+                "point_idx": res.point_idx,
+                "cached": res.cached,
+                "fresh_algorithms": sorted(res.fresh_algorithms),
+                "cached_algorithms": sorted(
+                    set(all_algorithms) - set(res.fresh_algorithms)
+                ),
+                "counters": res.counters,
+                "timings": res.timings,
+                "wall_s": res.wall_s,
+                "worker": res.worker,
+                "t_start": res.t_start,
+                "t_end": res.t_end,
+            }
+        )
+    return SweepTelemetry(units=tuple(units))
 
 
 def merge_unit_results(

@@ -85,6 +85,7 @@ def improvement_series(
     with_metrics: bool = False,
     jobs: int = 1,
     cache=None,
+    telemetry_out: list | None = None,
 ) -> dict[str, list[float]]:
     """Mean improvement over the baseline along one swept axis.
 
@@ -111,9 +112,15 @@ def improvement_series(
     ``cache`` (a directory path or :class:`~repro.experiments.cache.ResultCache`)
     persists per-(instance, algorithm) outcomes so repeated sweeps and
     figure regeneration skip already-scheduled instances.
+
+    ``telemetry_out``, if given a list, receives one
+    :class:`~repro.experiments.parallel.SweepTelemetry` describing the
+    execution: per-unit counters and phase spans shipped back from the
+    workers, worker-utilization stamps, and cache-hit attribution.
     """
     from repro.experiments.cache import as_cache
     from repro.experiments.parallel import (
+        collect_telemetry,
         execute_units,
         merge_unit_results,
         plan_sweep,
@@ -139,6 +146,8 @@ def improvement_series(
             from repro import obs as _obs
 
             _obs.disable()
+    if telemetry_out is not None:
+        telemetry_out.append(collect_telemetry(results))
     return merge_unit_results(
         config,
         x_values,

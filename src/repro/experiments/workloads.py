@@ -32,6 +32,18 @@ class WorkloadInstance:
     heterogeneous: bool
 
 
+#: The fixed scheduler-cost benchmark instance parameters.  One definition,
+#: two consumers — ``benchmarks/bench_scheduler_cost.py`` (writes the
+#: ``BENCH_scheduler_cost.json`` baseline) and ``repro runs compare`` (checks
+#: a fresh run against it) — so the workloads can never drift apart.
+SCHEDULER_COST_PARAMS = {"ccr": 2.0, "n_procs": 16, "rng": 12345}
+
+
+def scheduler_cost_workload() -> WorkloadInstance:
+    """The fixed workload the scheduler-cost benchmark baseline is built on."""
+    return paper_workload(ExperimentConfig.default(), **SCHEDULER_COST_PARAMS)
+
+
 def paper_workload(
     config: ExperimentConfig,
     ccr: float,

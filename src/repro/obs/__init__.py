@@ -43,6 +43,7 @@ from repro.obs.events import (
     read_jsonl,
 )
 from repro.obs.metrics import (
+    BUCKET_BOUNDS,
     METRICS,
     Counter,
     Gauge,
@@ -50,6 +51,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     Snapshot,
     diff_snapshots,
+    quantile_from_buckets,
 )
 from repro.obs.profile import PROFILER, PhaseProfiler, Timings, diff_timings, span
 
@@ -176,12 +178,14 @@ __all__ = [
     "ListSink",
     "NullSink",
     "read_jsonl",
+    "BUCKET_BOUNDS",
     "Counter",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "Snapshot",
     "diff_snapshots",
+    "quantile_from_buckets",
     "PhaseProfiler",
     "Timings",
     "diff_timings",

@@ -123,12 +123,37 @@ class JsonlSink:
             self._fh.close()
 
 
-def read_jsonl(path_or_file: str | IO[str]) -> list[Event]:
-    """Load events written by :class:`JsonlSink` (inverse of ``to_json``)."""
+def read_jsonl(path_or_file: str | IO[str], *, strict: bool = True) -> list[Event]:
+    """Load events written by :class:`JsonlSink` (inverse of ``to_json``).
+
+    A malformed line raises :class:`~repro.exceptions.ObsError` naming the
+    file and 1-based line number (instead of a bare ``json.JSONDecodeError``
+    that loses both).  With ``strict=False`` malformed lines are skipped —
+    for salvaging the intact prefix of a log truncated by a crash.
+    """
     if isinstance(path_or_file, str):
         with open(path_or_file) as fh:
-            return [Event.from_json(line) for line in fh if line.strip()]
-    return [Event.from_json(line) for line in path_or_file if line.strip()]
+            return _read_jsonl_lines(fh, path_or_file, strict)
+    name = getattr(path_or_file, "name", "<stream>")
+    return _read_jsonl_lines(path_or_file, str(name), strict)
+
+
+def _read_jsonl_lines(lines: IO[str], name: str, strict: bool) -> list[Event]:
+    from repro.exceptions import ObsError
+
+    events: list[Event] = []
+    for lineno, line in enumerate(lines, start=1):
+        if not line.strip():
+            continue
+        try:
+            events.append(Event.from_json(line))
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            if strict:
+                raise ObsError(
+                    f"{name}:{lineno}: malformed JSONL event line "
+                    f"({exc}): {line.strip()[:120]!r}"
+                ) from exc
+    return events
 
 
 class _Quiet:

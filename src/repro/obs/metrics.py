@@ -9,21 +9,74 @@ Two snapshot operations support before/after accounting:
 
 - :meth:`MetricsRegistry.snapshot` — a plain-dict copy of every instrument,
 - :func:`diff_snapshots` — ``after - before`` for counters and histogram
-  count/sum (gauges and histogram min/max take the *after* value, since they
-  are level, not flow, quantities).
+  count/sum/buckets (gauges and histogram min/max take the *after* value,
+  since they are level, not flow, quantities).
 
 ``Schedule.stats`` stores the diff across one ``schedule()`` call, so nested
 or repeated runs don't bleed into each other even though the registry is
 process-wide.
+
+Histograms additionally keep **fixed-boundary bucket counts** (a 1-2-5
+geometric ladder, :data:`BUCKET_BOUNDS`) so p50/p90/p99 estimates are
+available deterministically — the boundaries never depend on the data, so
+the same observations always produce the same buckets, the same snapshot
+bytes, and the same percentile estimates, in any process.
 """
 
 from __future__ import annotations
 
 import json
 import math
-from typing import Any
+from bisect import bisect_left
+from typing import Any, Mapping
 
 Snapshot = dict[str, dict[str, Any]]
+
+#: Fixed histogram bucket upper bounds: a 1-2-5 geometric ladder spanning
+#: 1e-9 .. 5e9.  Bucket ``i`` counts observations in ``(BOUNDS[i-1],
+#: BOUNDS[i]]`` (bucket 0 is ``(-inf, 1e-9]``); values beyond the ladder land
+#: in an overflow bucket indexed ``len(BUCKET_BOUNDS)``.  Fixed boundaries
+#: make percentile estimates deterministic and snapshot diffs subtractable.
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    m * 10.0**e for e in range(-9, 10) for m in (1.0, 2.0, 5.0)
+)
+
+#: The percentiles rendered in reports.
+RENDERED_QUANTILES: tuple[tuple[str, float], ...] = (
+    ("p50", 0.50),
+    ("p90", 0.90),
+    ("p99", 0.99),
+)
+
+
+def quantile_from_buckets(
+    buckets: Mapping[int, int] | Mapping[str, int],
+    count: int,
+    lo: float,
+    hi: float,
+    q: float,
+) -> float:
+    """Deterministic quantile estimate from fixed-boundary bucket counts.
+
+    The estimate is the upper bound of the bucket where the cumulative count
+    first reaches ``ceil(q * count)``, clamped into the observed ``[lo, hi]``
+    range (so estimates never stray outside the data).  ``buckets`` may have
+    int or str keys — JSON round-trips stringify them.
+    """
+    if count <= 0:
+        return 0.0
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"quantile must be in [0, 1], got {q}")
+    rank = max(1, math.ceil(q * count))
+    by_index = {int(k): int(v) for k, v in buckets.items()}
+    cumulative = 0
+    n_bounds = len(BUCKET_BOUNDS)
+    for index in sorted(by_index):
+        cumulative += by_index[index]
+        if cumulative >= rank:
+            estimate = BUCKET_BOUNDS[index] if index < n_bounds else hi
+            return min(max(estimate, lo), hi)
+    return hi
 
 
 class Counter:
@@ -51,15 +104,21 @@ class Gauge:
 
 
 class Histogram:
-    """Streaming summary (count/sum/min/max/mean) of observed values."""
+    """Streaming summary (count/sum/min/max/mean) plus fixed-boundary buckets.
 
-    __slots__ = ("count", "total", "min", "max")
+    ``buckets`` is sparse — ``{bucket index: count}`` over
+    :data:`BUCKET_BOUNDS` — so untouched ranges cost nothing and snapshot
+    diffs subtract per index.
+    """
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
 
     def __init__(self) -> None:
         self.count = 0
         self.total = 0.0
         self.min = math.inf
         self.max = -math.inf
+        self.buckets: dict[int, int] = {}
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -68,10 +127,16 @@ class Histogram:
             self.min = value
         if value > self.max:
             self.max = value
+        index = bisect_left(BUCKET_BOUNDS, value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Deterministic percentile estimate (see :func:`quantile_from_buckets`)."""
+        return quantile_from_buckets(self.buckets, self.count, self.min, self.max, q)
 
 
 class MetricsRegistry:
@@ -116,7 +181,13 @@ class MetricsRegistry:
             "counters": {k: c.value for k, c in self._counters.items()},
             "gauges": {k: g.value for k, g in self._gauges.items()},
             "histograms": {
-                k: {"count": h.count, "sum": h.total, "min": h.min, "max": h.max}
+                k: {
+                    "count": h.count,
+                    "sum": h.total,
+                    "min": h.min,
+                    "max": h.max,
+                    "buckets": dict(h.buckets),
+                }
                 for k, h in self._histograms.items()
             },
         }
@@ -137,10 +208,17 @@ class MetricsRegistry:
             h = snapshot["histograms"][name]
             if h["count"]:
                 mean = h["sum"] / h["count"]
-                lines.append(
+                line = (
                     f"{name} = count {h['count']:g}, mean {mean:g}, "
                     f"min {h['min']:g}, max {h['max']:g}"
                 )
+                buckets = h.get("buckets")
+                if buckets:
+                    line += ", " + ", ".join(
+                        f"{label} {quantile_from_buckets(buckets, h['count'], h['min'], h['max'], q):g}"
+                        for label, q in RENDERED_QUANTILES
+                    )
+                lines.append(line)
         return "\n".join(lines) if lines else "(no metrics recorded)"
 
     @staticmethod
@@ -196,11 +274,18 @@ def diff_snapshots(before: Snapshot, after: Snapshot) -> Snapshot:
         )
         count = h["count"] - h0["count"]
         if count:
+            buckets0 = h0.get("buckets", {})
+            buckets = {
+                index: delta
+                for index, c in h.get("buckets", {}).items()
+                if (delta := c - buckets0.get(index, 0))
+            }
             histograms[name] = {
                 "count": count,
                 "sum": h["sum"] - h0["sum"],
                 "min": h["min"],
                 "max": h["max"],
+                "buckets": buckets,
             }
     return {"counters": counters, "gauges": gauges, "histograms": histograms}
 

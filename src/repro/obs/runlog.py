@@ -1,0 +1,384 @@
+"""The run ledger: a persistent record of every scheduling invocation.
+
+PR 1's instrumentation explains one run while the process lives; the ledger
+makes runs comparable *across* invocations.  Every ``schedule`` / sweep /
+bench entry point appends one :class:`RunRecord` — a config fingerprint (the
+same sha256-over-canonical-JSON scheme as the experiment result cache),
+counter/gauge/histogram snapshot, phase timings, makespans, git revision and
+environment — to a sharded JSONL ledger under ``.repro-runs/``, and the
+``python -m repro runs`` CLI family (``list`` / ``show`` / ``diff`` /
+``compare``) mines it: counter and timing deltas between any two runs, and a
+tolerance-gated regression verdict against a committed ``BENCH_*.json``
+baseline for CI.
+
+Design rules:
+
+- **Append-only.**  Records are never rewritten; each append is a single
+  ``os.write`` on an ``O_APPEND`` descriptor, so concurrent writers (parallel
+  CI jobs, sweep workers) interleave whole lines, never partial ones.
+- **Sharded.**  A record lands in ``ledger-<run_id[:2]>.jsonl``, bounding any
+  single file and letting concurrent appends usually hit different shards.
+- **One write path.**  All writes go through :func:`append` (module level) or
+  :meth:`RunLedger.append`; lint rule OBS002 flags any other code opening
+  ledger files directly, because a hand-rolled write skips the atomic-append
+  and schema discipline.
+- **Wall clock is confined here.**  Scheduling code may not read wall time
+  (DET003); the ledger timestamps live at the CLI boundary, outside every
+  deterministic path, and never feed back into schedule bytes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import platform
+import subprocess
+import sys
+from dataclasses import asdict, dataclass, field
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.exceptions import ObsError
+from repro.obs.metrics import Snapshot
+from repro.obs.profile import Timings
+
+#: Bump when the record layout changes; readers skip newer-schema records
+#: instead of misparsing them.
+RUNLOG_SCHEMA = 1
+
+#: The set of record kinds the CLI entry points produce.
+RUN_KINDS = ("schedule", "sweep", "bench")
+
+
+def fingerprint(doc: dict[str, Any]) -> str:
+    """sha256 over canonical JSON — the experiment cache's keying scheme.
+
+    Same digest discipline as ``repro.experiments.cache``: sorted keys,
+    compact separators, so any field perturbation changes the fingerprint.
+    (Not imported from there — the experiments layer depends on ``repro.obs``,
+    and the digest must stay stable even if cache keys gain fields.)
+    """
+    payload = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def default_runs_dir() -> Path:
+    """``$REPRO_RUNS_DIR`` if set, else ``.repro-runs`` in the working dir."""
+    env = os.environ.get("REPRO_RUNS_DIR")
+    if env:
+        return Path(env).expanduser()
+    return Path(".repro-runs")
+
+
+def git_revision() -> str:
+    """The working tree's HEAD commit, or ``""`` outside a git checkout."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            capture_output=True,
+            text=True,
+            timeout=5,
+            check=False,
+        )
+    except (OSError, subprocess.SubprocessError):
+        return ""
+    return out.stdout.strip() if out.returncode == 0 else ""
+
+
+def environment() -> dict[str, str]:
+    """The environment fields stamped onto every record."""
+    from repro import __version__
+
+    return {
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repro": __version__,
+    }
+
+
+@dataclass
+class RunRecord:
+    """One ledger entry: what ran, under which config, and what it measured.
+
+    ``makespans`` maps algorithm name to makespan (one entry for a single
+    ``schedule`` run); ``metrics`` / ``timings`` are the run's observability
+    capture (snapshot-diff form, as on ``ScheduleStats``); ``meta`` carries
+    kind-specific payload (workload parameters, sweep telemetry summary,
+    cache statistics) that ``runs show`` prints verbatim.
+    """
+
+    run_id: str
+    kind: str
+    created_at: str
+    fingerprint: str
+    argv: list[str] = field(default_factory=list)
+    git_rev: str = ""
+    env: dict[str, str] = field(default_factory=dict)
+    makespans: dict[str, float] = field(default_factory=dict)
+    metrics: Snapshot = field(default_factory=dict)
+    timings: Timings = field(default_factory=dict)
+    wall_s: float | None = None
+    meta: dict[str, Any] = field(default_factory=dict)
+    schema: int = RUNLOG_SCHEMA
+
+    def to_json(self) -> str:
+        return json.dumps(asdict(self), sort_keys=True, separators=(",", ":"))
+
+    @classmethod
+    def from_dict(cls, doc: dict[str, Any]) -> "RunRecord":
+        known = {f for f in cls.__dataclass_fields__}
+        return cls(**{k: v for k, v in doc.items() if k in known})
+
+    def counter(self, name: str) -> float:
+        return float(self.metrics.get("counters", {}).get(name, 0.0))
+
+    def to_text(self) -> str:
+        """Multi-line human-readable form (``runs show``)."""
+        from repro.obs.metrics import MetricsRegistry
+
+        lines = [
+            f"run {self.run_id}  [{self.kind}]  {self.created_at}",
+            f"fingerprint {self.fingerprint}",
+        ]
+        if self.git_rev:
+            lines.append(f"git {self.git_rev}")
+        if self.env:
+            lines.append(
+                "env " + ", ".join(f"{k}={v}" for k, v in sorted(self.env.items()))
+            )
+        if self.argv:
+            lines.append("argv " + " ".join(self.argv))
+        if self.wall_s is not None:
+            lines.append(f"wall {self.wall_s * 1e3:.1f} ms")
+        for algo in sorted(self.makespans):
+            lines.append(f"makespan[{algo}] = {self.makespans[algo]!r}")
+        if self.meta:
+            lines.append("meta " + json.dumps(self.meta, sort_keys=True))
+        rendered = MetricsRegistry.render_text(self.metrics)
+        if rendered != "(no metrics recorded)":
+            lines.append(rendered)
+        if self.timings:
+            lines.extend(
+                f"{phase}  {rec['total'] * 1e3:.3f} ms  x{int(rec['count'])}"
+                for phase, rec in sorted(self.timings.items())
+            )
+        return "\n".join(lines)
+
+
+def new_record(
+    kind: str,
+    *,
+    fingerprint_doc: dict[str, Any] | None = None,
+    config_fingerprint: str | None = None,
+    argv: list[str] | None = None,
+    makespans: dict[str, float] | None = None,
+    metrics: Snapshot | None = None,
+    timings: Timings | None = None,
+    wall_s: float | None = None,
+    meta: dict[str, Any] | None = None,
+) -> RunRecord:
+    """Assemble a :class:`RunRecord`, stamping id, time, git rev and env.
+
+    Exactly one of ``fingerprint_doc`` (hashed here) or ``config_fingerprint``
+    (a digest the caller already has, e.g. the experiment cache's) is
+    required.  The run id is a 12-hex digest over the record content plus the
+    timestamp and pid, so simultaneous identical runs still get distinct ids.
+    """
+    if kind not in RUN_KINDS:
+        raise ObsError(f"unknown run kind {kind!r}; expected one of {RUN_KINDS}")
+    if (fingerprint_doc is None) == (config_fingerprint is None):
+        raise ObsError(
+            "exactly one of fingerprint_doc / config_fingerprint is required"
+        )
+    fp = config_fingerprint if config_fingerprint is not None else fingerprint(
+        fingerprint_doc or {}
+    )
+    created_at = datetime.now(timezone.utc).isoformat(timespec="microseconds")
+    run_id = fingerprint(
+        {"fp": fp, "at": created_at, "pid": os.getpid(), "kind": kind}
+    )[:12]
+    return RunRecord(
+        run_id=run_id,
+        kind=kind,
+        created_at=created_at,
+        fingerprint=fp,
+        argv=list(argv or []),
+        git_rev=git_revision(),
+        env=environment(),
+        makespans=dict(makespans or {}),
+        metrics=metrics or {},
+        timings=timings or {},
+        wall_s=wall_s,
+        meta=dict(meta or {}),
+    )
+
+
+class RunLedger:
+    """Sharded append-only JSONL store of :class:`RunRecord` entries."""
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        self.root = Path(root) if root is not None else default_runs_dir()
+
+    def _shard_path(self, run_id: str) -> Path:
+        return self.root / f"ledger-{run_id[:2]}.jsonl"
+
+    def append(self, record: RunRecord) -> RunRecord:
+        """Atomically append one record to its shard; returns the record.
+
+        The sanctioned ledger write path (lint rule OBS002): a single
+        ``os.write`` of the whole line on an ``O_APPEND`` descriptor, so
+        concurrent appends from parallel jobs never interleave mid-line.
+        """
+        self.root.mkdir(parents=True, exist_ok=True)
+        line = record.to_json() + "\n"
+        path = self._shard_path(record.run_id)
+        fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+        return record
+
+    def _iter_raw(self) -> Iterator[tuple[Path, int, dict[str, Any]]]:
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("ledger-*.jsonl")):
+            with open(path) as fh:
+                for lineno, line in enumerate(fh, start=1):
+                    if not line.strip():
+                        continue
+                    try:
+                        doc = json.loads(line)
+                    except json.JSONDecodeError as exc:
+                        raise ObsError(
+                            f"{path}:{lineno}: malformed ledger line ({exc})"
+                        ) from exc
+                    yield path, lineno, doc
+
+    def records(self, *, kind: str | None = None) -> list[RunRecord]:
+        """All readable records, oldest first (stable on run id)."""
+        out = []
+        for _path, _lineno, doc in self._iter_raw():
+            if doc.get("schema", 0) > RUNLOG_SCHEMA:
+                continue  # written by a newer library; skip, don't misparse
+            if kind is not None and doc.get("kind") != kind:
+                continue
+            out.append(RunRecord.from_dict(doc))
+        out.sort(key=lambda r: (r.created_at, r.run_id))
+        return out
+
+    def get(self, run_id: str) -> RunRecord:
+        """The record whose id equals or starts with ``run_id``."""
+        matches = [r for r in self.records() if r.run_id.startswith(run_id)]
+        if not matches:
+            raise ObsError(f"no ledger record matches run id {run_id!r}")
+        if len(matches) > 1:
+            ids = ", ".join(r.run_id for r in matches)
+            raise ObsError(f"run id {run_id!r} is ambiguous: {ids}")
+        return matches[0]
+
+    def latest(self, *, kind: str | None = None) -> RunRecord | None:
+        records = self.records(kind=kind)
+        return records[-1] if records else None
+
+
+def append(record: RunRecord, root: str | Path | None = None) -> RunRecord:
+    """Append ``record`` to the ledger at ``root`` (default ledger location).
+
+    The module-level sanctioned write path; see :meth:`RunLedger.append`.
+    """
+    return RunLedger(root).append(record)
+
+
+# -- regression comparison -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class RegressionFinding:
+    """One out-of-tolerance deviation between a run and a baseline."""
+
+    algorithm: str
+    field: str  # "makespan" | "counter:<name>" | "wall_s" | "coverage"
+    baseline: float | None
+    current: float | None
+    message: str
+
+
+def compare_to_baseline(
+    record: RunRecord,
+    baseline: dict[str, Any],
+    *,
+    rel_tol: float = 0.0,
+    counter_tol: float = 0.0,
+    wall_tol: float | None = None,
+) -> list[RegressionFinding]:
+    """Regression verdict of a bench record against a ``BENCH_*.json`` doc.
+
+    ``baseline`` is the committed scheduler-cost report shape:
+    ``{"algorithms": {name: {"makespan": float, "counters": {...},
+    "wall_s": float}}}``.  Makespans are gated at relative tolerance
+    ``rel_tol`` (default exact — the engines are deterministic), counters at
+    ``counter_tol``, and wall time at ``wall_tol`` (a slowdown ratio, e.g.
+    ``1.5`` fails when 50% slower; ``None`` reports but never gates — CI
+    runners are too noisy for hard timing assertions).
+    """
+    findings: list[RegressionFinding] = []
+    algorithms = baseline.get("algorithms")
+    if not isinstance(algorithms, dict):
+        raise ObsError("baseline is not a BENCH_*.json report (no 'algorithms')")
+
+    def rel_err(base: float, cur: float) -> float:
+        if base == cur:  # repro-lint: disable=FLT001 (identical floats => zero rel err)
+            return 0.0
+        scale = max(abs(base), abs(cur))
+        return abs(base - cur) / scale if scale else 0.0
+
+    for algo in sorted(algorithms):
+        base = algorithms[algo]
+        cur_makespan = record.makespans.get(algo)
+        if cur_makespan is None:
+            findings.append(
+                RegressionFinding(
+                    algo, "coverage", base.get("makespan"), None,
+                    f"{algo}: no makespan in run {record.run_id}",
+                )
+            )
+            continue
+        base_makespan = base["makespan"]
+        if rel_err(base_makespan, cur_makespan) > rel_tol:
+            findings.append(
+                RegressionFinding(
+                    algo, "makespan", base_makespan, cur_makespan,
+                    f"{algo}: makespan {cur_makespan!r} deviates from "
+                    f"baseline {base_makespan!r} (rel tol {rel_tol:g})",
+                )
+            )
+        per_algo = record.meta.get("counters", {}).get(algo)
+        base_counters = base.get("counters")
+        if per_algo is not None and base_counters:
+            for cname in sorted(base_counters):
+                cur_v = float(per_algo.get(cname, 0.0))
+                base_v = float(base_counters[cname])
+                if rel_err(base_v, cur_v) > counter_tol:
+                    findings.append(
+                        RegressionFinding(
+                            algo, f"counter:{cname}", base_v, cur_v,
+                            f"{algo}: counter {cname} = {cur_v:g} deviates "
+                            f"from baseline {base_v:g} (rel tol {counter_tol:g})",
+                        )
+                    )
+        if wall_tol is not None:
+            base_wall = base.get("wall_s")
+            cur_wall = record.meta.get("wall_s", {}).get(algo)
+            if base_wall and cur_wall and cur_wall / base_wall > wall_tol:
+                findings.append(
+                    RegressionFinding(
+                        algo, "wall_s", base_wall, cur_wall,
+                        f"{algo}: wall {cur_wall * 1e3:.1f} ms is "
+                        f"{cur_wall / base_wall:.2f}x baseline "
+                        f"{base_wall * 1e3:.1f} ms (tol {wall_tol:g}x)",
+                    )
+                )
+    return findings

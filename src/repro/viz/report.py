@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 from repro.core.metrics import (
     comm_to_comp_time,
     efficiency,
@@ -13,6 +15,9 @@ from repro.core.schedule import Schedule
 from repro.obs import ScheduleStats
 from repro.utils.tables import format_table
 from repro.viz.gantt import link_gantt, processor_gantt
+
+if TYPE_CHECKING:
+    from repro.core.explain import ScheduleExplanation
 
 
 def schedule_report(schedule: Schedule, *, gantt: bool = True, width: int = 78) -> str:
@@ -61,17 +66,30 @@ def stats_report(stats: ScheduleStats) -> str:
         parts.append(format_table(["counter", "value"], scalar_rows))
     histograms = stats.metrics.get("histograms", {})
     if histograms:
+        from repro.obs.metrics import RENDERED_QUANTILES, quantile_from_buckets
+
+        def _quantiles(h: dict) -> list[str]:
+            buckets = h.get("buckets")
+            if not buckets or not h["count"]:
+                return ["-"] * len(RENDERED_QUANTILES)
+            return [
+                f"{quantile_from_buckets(buckets, h['count'], h['min'], h['max'], q):g}"
+                for _label, q in RENDERED_QUANTILES
+            ]
+
         parts.append(
             format_table(
-                ["histogram", "count", "mean", "min", "max"],
+                ["histogram", "count", "mean", "min", "max"]
+                + [label for label, _q in RENDERED_QUANTILES],
                 [
-                    (
+                    [
                         name,
                         f"{h['count']:g}",
                         f"{h['sum'] / h['count']:g}" if h["count"] else "-",
                         f"{h['min']:g}",
                         f"{h['max']:g}",
-                    )
+                    ]
+                    + _quantiles(h)
                     for name, h in sorted(histograms.items())
                 ],
             )
@@ -95,6 +113,101 @@ def stats_report(stats: ScheduleStats) -> str:
             )
         )
     return "\n\n".join(parts) if parts else "(nothing recorded)"
+
+
+#: Human labels for the explain segment kinds (render order preserved).
+_SEGMENT_LABELS = {
+    "compute": "compute",
+    "transfer": "data transfer",
+    "link_wait": "link contention wait",
+    "proc_wait": "processor queueing wait",
+    "idle": "processor idle (ramp-up)",
+}
+
+
+def explain_report(explanation: "ScheduleExplanation", *, chain: bool = True) -> str:
+    """Text rendering of a makespan attribution (``python -m repro explain``).
+
+    Sections: attribution by category, by binding resource, per-resource
+    utilization over the whole schedule, and (optionally) the binding chain
+    itself, oldest segment first.
+    """
+    from repro.core.explain import SEGMENT_KINDS
+
+    makespan = explanation.makespan
+    if makespan <= 0 or not explanation.segments:
+        return f"{explanation.algorithm}: empty schedule, nothing to explain"
+
+    def pct(x: float) -> str:
+        return f"{100.0 * x / makespan:.1f}%"
+
+    parts = [
+        f"{explanation.algorithm}: makespan {makespan:.2f} attributed along "
+        f"the binding chain ({len(explanation.segments)} segments)"
+    ]
+    by_cat = explanation.by_category()
+    parts.append(
+        format_table(
+            ["category", "time", "share"],
+            [
+                (_SEGMENT_LABELS[kind], f"{by_cat[kind]:.2f}", pct(by_cat[kind]))
+                for kind in SEGMENT_KINDS
+                if kind in by_cat
+            ],
+        )
+    )
+    parts.append("binding resources (where the makespan was spent):")
+    parts.append(
+        format_table(
+            ["resource", "time", "share"],
+            [
+                (res, f"{t:.2f}", pct(t))
+                for res, t in explanation.by_resource().items()
+            ],
+        )
+    )
+    util_rows = []
+    for tl in explanation.timelines:
+        util_rows.append(
+            (
+                tl.resource,
+                f"{tl.busy_time:.2f}",
+                f"{tl.utilization(makespan):.0%}",
+                str(len(tl.busy)),
+            )
+        )
+    if util_rows:
+        parts.append("utilization over the whole schedule:")
+        parts.append(
+            format_table(["resource", "busy", "util", "intervals"], util_rows)
+        )
+    if chain:
+        chain_rows = []
+        for seg in explanation.segments:
+            what = _SEGMENT_LABELS[seg.kind]
+            detail = ""
+            if seg.task is not None:
+                detail = f"task {seg.task}"
+            elif seg.edge is not None:
+                detail = f"edge {seg.edge[0]}->{seg.edge[1]}"
+            chain_rows.append(
+                (
+                    f"{seg.start:.2f}",
+                    f"{seg.finish:.2f}",
+                    f"{seg.duration:.2f}",
+                    what,
+                    seg.resource or "-",
+                    detail,
+                )
+            )
+        parts.append("binding chain (start -> finish):")
+        parts.append(
+            format_table(
+                ["start", "finish", "dur", "category", "resource", "detail"],
+                chain_rows,
+            )
+        )
+    return "\n\n".join(parts)
 
 
 def comparison_report(schedules: list[Schedule]) -> str:

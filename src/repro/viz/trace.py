@@ -23,6 +23,20 @@ from repro.core.schedule import Schedule
 #: Link "processes" start here so they never collide with processor vids.
 LINK_PID_BASE = 10_000
 
+#: The critical-path highlight track's process id; its negative sort index
+#: pins it above every processor lane.
+CRITICAL_PID = 9_999
+
+#: Chrome-trace color names per explain segment kind: binding work in
+#: green/blue, waits in the alarm palette, so contention pops visually.
+_SEGMENT_CNAME = {
+    "compute": "good",
+    "transfer": "thread_state_running",
+    "link_wait": "terrible",
+    "proc_wait": "bad",
+    "idle": "grey",
+}
+
 
 def _link_meta(events: list[dict], pid: int, name: str) -> None:
     """Name a link process and sort it below every processor lane."""
@@ -40,13 +54,21 @@ def _link_meta(events: list[dict], pid: int, name: str) -> None:
     )
 
 
-def schedule_to_trace(schedule: Schedule, *, time_unit: float = 1.0) -> str:
+def schedule_to_trace(
+    schedule: Schedule, *, time_unit: float = 1.0, explanation=None
+) -> str:
     """Serialize as Trace Event Format JSON.
 
     ``time_unit`` scales schedule time units into microseconds (trace
     timestamps are integers in us; the default treats one schedule time unit
     as one microsecond).  Zero-length slots are clamped to 1us — for tasks
     *and* link slots — so they don't vanish in Perfetto.
+
+    Pass a :class:`~repro.core.explain.ScheduleExplanation` (from
+    :func:`repro.core.explain.explain`) as ``explanation`` to add a
+    **critical path** track above the processor lanes: the binding chain's
+    segments as color-coded slices (compute green, transfers blue, contention
+    waits red), each naming the resource it binds.
     """
     events: list[dict] = []
 
@@ -118,10 +140,55 @@ def schedule_to_trace(schedule: Schedule, *, time_unit: float = 1.0) -> str:
                      "ts": us(t1), "args": {"fraction": 0.0}}
                 )
 
+    if explanation is not None:
+        events.extend(_critical_path_events(explanation, us, dur))
+
     if schedule.stats is not None:
         events.extend(_instant_events(schedule, us))
 
     return json.dumps({"traceEvents": events, "displayTimeUnit": "ms"}, indent=1)
+
+
+def _critical_path_events(explanation, us, dur) -> list[dict]:
+    """The binding chain as a dedicated color-coded track above the lanes."""
+    out: list[dict] = [
+        {"name": "process_name", "ph": "M", "pid": CRITICAL_PID,
+         "args": {"name": "critical path"}},
+        {"name": "process_sort_index", "ph": "M", "pid": CRITICAL_PID,
+         "args": {"sort_index": -1}},
+        {"name": "thread_name", "ph": "M", "pid": CRITICAL_PID, "tid": 0,
+         "args": {"name": "binding chain"}},
+    ]
+    for seg in explanation.segments:
+        if seg.task is not None:
+            label = f"{seg.kind} task {seg.task}"
+        elif seg.edge is not None:
+            label = f"{seg.kind} {seg.edge[0]}->{seg.edge[1]}"
+        else:
+            label = seg.kind
+        if seg.resource:
+            label += f" @{seg.resource}"
+        out.append(
+            {
+                "name": label,
+                "ph": "X",
+                "pid": CRITICAL_PID,
+                "tid": 0,
+                "ts": us(seg.start),
+                "dur": dur(seg.start, seg.finish),
+                "cname": _SEGMENT_CNAME.get(seg.kind, "grey"),
+                "args": {
+                    "kind": seg.kind,
+                    "resource": seg.resource,
+                    "share": (
+                        seg.duration / explanation.makespan
+                        if explanation.makespan > 0
+                        else 0.0
+                    ),
+                },
+            }
+        )
+    return out
 
 
 def _instant_events(schedule: Schedule, us) -> list[dict]:

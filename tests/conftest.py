@@ -8,6 +8,17 @@ from repro.network.builders import fully_connected, random_wan, switched_cluster
 from repro.taskgraph.graph import TaskGraph
 
 
+@pytest.fixture(autouse=True)
+def _isolated_run_ledger(tmp_path, monkeypatch):
+    """Point the run ledger at a throwaway directory for every test.
+
+    CLI commands append to ``.repro-runs`` in the working directory by
+    default; without this, running the suite would grow a ledger in the
+    repo checkout.
+    """
+    monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "repro-runs"))
+
+
 @pytest.fixture
 def chain3() -> TaskGraph:
     """t0 -> t1 -> t2, unit-ish costs."""

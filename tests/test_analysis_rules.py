@@ -355,6 +355,79 @@ class TestObsGuard:
         )
 
 
+class TestLedgerWrite:
+    def test_direct_open_of_ledger_path_fires(self):
+        found = run_rule(
+            "OBS002",
+            """
+            def dump(record) -> None:
+                with open(".repro-runs/ledger-ab.jsonl", "a") as fh:
+                    fh.write(record.to_json() + "\\n")
+            """,
+            path=EXPERIMENTS,
+        )
+        assert [f.rule for f in found] == ["OBS002"]
+        assert "runlog.append" in found[0].message
+
+    def test_os_open_of_ledger_variable_fires(self):
+        found = run_rule(
+            "OBS002",
+            """
+            import os
+
+            def dump(ledger_path, line: bytes) -> None:
+                fd = os.open(ledger_path, os.O_WRONLY | os.O_APPEND)
+                os.write(fd, line)
+            """,
+            path=EXPERIMENTS,
+        )
+        assert len(found) == 1
+
+    def test_write_text_on_runs_dir_path_fires(self):
+        found = run_rule(
+            "OBS002",
+            """
+            def dump(runs_dir, payload: str) -> None:
+                (runs_dir / "ledger-00.jsonl").write_text(payload)
+            """,
+            path=EXPERIMENTS,
+        )
+        assert len(found) == 1
+
+    def test_runlog_module_itself_is_exempt(self):
+        assert not run_rule(
+            "OBS002",
+            """
+            def dump(record) -> None:
+                with open(".repro-runs/ledger-ab.jsonl", "a") as fh:
+                    fh.write(record.to_json() + "\\n")
+            """,
+            path="src/repro/obs/runlog.py",
+        )
+
+    def test_unrelated_write_is_clean(self):
+        assert not run_rule(
+            "OBS002",
+            """
+            def dump(path, payload: str) -> None:
+                with open(path, "w") as fh:
+                    fh.write(payload)
+            """,
+            path=EXPERIMENTS,
+        )
+
+    def test_reading_the_ledger_is_clean(self):
+        assert not run_rule(
+            "OBS002",
+            """
+            def load(ledger_path) -> list[str]:
+                with open(ledger_path) as fh:
+                    return fh.readlines()
+            """,
+            path=EXPERIMENTS,
+        )
+
+
 class TestStateInternals:
     def test_foreign_private_access_fires(self):
         found = run_rule(

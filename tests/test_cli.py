@@ -200,3 +200,130 @@ class TestExport:
         out = tmp_path / "s.json"
         main(["export", str(out), "--format", "json", "--tasks", "6", "--procs", "3"])
         validate_schedule(schedule_from_json(out.read_text()))
+
+
+class TestExplainCli:
+    def test_text_report(self, capsys):
+        assert main(["explain", "--tasks", "10", "--procs", "4",
+                     "--algorithm", "ba"]) == 0
+        out = capsys.readouterr().out
+        assert "attributed along the binding chain" in out
+        assert "binding resources" in out
+        assert "utilization over the whole schedule" in out
+        assert "binding chain" in out
+
+    def test_no_chain_hides_the_segment_table(self, capsys):
+        assert main(["explain", "--tasks", "10", "--procs", "4",
+                     "--no-chain"]) == 0
+        out = capsys.readouterr().out
+        assert "binding resources" in out
+        assert "binding chain:" not in out
+
+    def test_json_attribution_sums_to_makespan(self, capsys):
+        import json
+
+        assert main(["explain", "--tasks", "12", "--procs", "4",
+                     "--algorithm", "oihsa", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["segments"]
+        assert sum(doc["by_category"].values()) == pytest.approx(
+            doc["makespan"], abs=1e-9
+        )
+
+    def test_trace_out_writes_critical_path_track(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "explain.trace.json"
+        assert main(["explain", "--tasks", "10", "--procs", "4",
+                     "--trace-out", str(path)]) == 0
+        doc = json.loads(path.read_text())
+        names = [
+            ev["args"]["name"]
+            for ev in doc["traceEvents"]
+            if ev["ph"] == "M" and ev["name"] == "process_name"
+        ]
+        assert "critical path" in names
+
+
+def _ledger_run_id(err: str) -> str:
+    for line in err.splitlines():
+        if line.startswith("[ledger] run "):
+            return line.split()[-1]
+    raise AssertionError(f"no ledger line in stderr: {err!r}")
+
+
+class TestRunsCli:
+    def _schedule(self, capsys, *extra) -> str:
+        assert main(["schedule", "--tasks", "8", "--procs", "4",
+                     "--no-gantt", *extra]) == 0
+        return _ledger_run_id(capsys.readouterr().err)
+
+    def test_schedule_appends_and_list_shows_it(self, capsys):
+        run_id = self._schedule(capsys)
+        assert main(["runs", "list"]) == 0
+        out = capsys.readouterr().out
+        assert run_id in out
+        assert "schedule" in out
+
+    def test_no_runlog_leaves_the_ledger_empty(self, capsys):
+        assert main(["schedule", "--tasks", "8", "--no-gantt",
+                     "--no-runlog"]) == 0
+        captured = capsys.readouterr()
+        assert "[ledger]" not in captured.err
+        assert main(["runs", "list"]) == 0
+        assert "(no runs recorded" in capsys.readouterr().out
+
+    def test_stdout_is_identical_with_and_without_runlog(self, capsys):
+        assert main(["schedule", "--tasks", "8", "--no-gantt"]) == 0
+        with_ledger = capsys.readouterr().out
+        assert main(["schedule", "--tasks", "8", "--no-gantt",
+                     "--no-runlog"]) == 0
+        assert capsys.readouterr().out == with_ledger
+
+    def test_show_prints_the_record(self, capsys):
+        run_id = self._schedule(capsys, "--algorithm", "ba")
+        assert main(["runs", "show", run_id[:6]]) == 0
+        out = capsys.readouterr().out
+        assert f"run {run_id}" in out
+        assert "makespan[ba]" in out
+
+    def test_diff_two_runs(self, capsys):
+        a = self._schedule(capsys, "--algorithm", "ba")
+        b = self._schedule(capsys, "--algorithm", "oihsa", "--seed", "2")
+        assert main(["runs", "diff", a, b]) == 0
+        out = capsys.readouterr().out
+        assert f"a: run {a}" in out
+        assert "note: configs differ" in out
+        assert "makespan[ba]" in out and "makespan[oihsa]" in out
+
+    def test_unknown_run_id_fails_cleanly(self, capsys):
+        assert main(["runs", "show", "zzzz"]) == 1
+        assert "no ledger record" in capsys.readouterr().err
+
+    def test_compare_regression_then_ok_from_ledger(self, tmp_path, capsys):
+        import json
+
+        # A deliberately wrong baseline: the fresh bench run (ba only, to
+        # stay fast) regresses against it and exits non-zero...
+        bad = tmp_path / "BENCH_bad.json"
+        bad.write_text(json.dumps({"algorithms": {"ba": {"makespan": 1.0}}}))
+        assert main(["runs", "compare", "--baseline", str(bad)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.out
+        assert "running the bench workload fresh" in captured.err
+        # ...and appended its record; a corrected baseline then compares OK
+        # straight from the ledger (no fresh run, nothing on stderr).
+        from repro.obs.runlog import RunLedger
+
+        record = RunLedger().latest(kind="bench")
+        good = tmp_path / "BENCH_good.json"
+        good.write_text(json.dumps(
+            {"algorithms": {"ba": {
+                "makespan": record.makespans["ba"],
+                "counters": record.meta["counters"]["ba"],
+            }}}
+        ))
+        assert main(["runs", "compare", "--baseline", str(good)]) == 0
+        captured = capsys.readouterr()
+        assert "OK: 1 algorithms within tolerance" in captured.out
+        assert "fresh" not in captured.err

@@ -1,0 +1,207 @@
+"""Explainability tests: the makespan attribution must tile ``[0, makespan]``
+exactly for every scheduler, and the binding/non-binding resource split must
+be causally real — perturbing a binding resource moves the makespan,
+perturbing a resource absent from the explanation does not."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.core import SCHEDULERS, explain, utilization_timelines
+from repro.core.explain import SEGMENT_KINDS
+from repro.core.validate import validate_schedule
+from repro.network.topology import NetworkTopology
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.kernels import fork_join
+
+ALL_ALGOS = sorted(SCHEDULERS)
+
+
+def detour_net(
+    fast: float = 4.0,
+    cross: float = 1.0,
+    detour: float = 1.0,
+    p0: float = 2.0,
+    p1: float = 1.0,
+    p2: float = 1.0,
+) -> NetworkTopology:
+    """Three processors with a 2-hop switch detour no hop-count route takes.
+
+    ``P0`` is strictly fastest, so compute-bound chains bind to it; the
+    detour links exist only to be provably non-binding (they appear on no
+    route, no booking, no explanation segment).
+    """
+    n = NetworkTopology()
+    a = n.add_processor(p0)
+    b = n.add_processor(p1)
+    c = n.add_processor(p2)
+    s = n.add_switch()
+    n.connect(a, b, speed=fast)
+    n.connect(a, c, speed=cross)
+    n.connect(b, c, speed=cross)
+    n.connect(a, s, speed=detour)
+    n.connect(s, b, speed=detour)
+    return n
+
+
+@pytest.mark.parametrize("algo", ALL_ALGOS)
+class TestAttributionExactness:
+    """100%-of-makespan tiling, for every scheduler on tier-1 workloads."""
+
+    def _check(self, algo, graph, net):
+        schedule = SCHEDULERS[algo]().schedule(graph, net)
+        validate_schedule(schedule)
+        ex = explain(schedule)
+        assert ex.algorithm == schedule.algorithm
+        assert ex.makespan == schedule.makespan
+        # bit-exact: boundary floats are shared, so durations telescope
+        assert ex.attributed_total() == schedule.makespan
+        assert sum(ex.by_category().values()) == pytest.approx(
+            schedule.makespan, abs=1e-9
+        )
+        # the segments tile [0, makespan] with no gap and no overlap
+        assert ex.segments, "non-empty schedule must have a binding chain"
+        assert ex.segments[0].start == 0.0
+        assert ex.segments[-1].finish == schedule.makespan
+        for prev, nxt in zip(ex.segments, ex.segments[1:]):
+            assert prev.finish == nxt.start
+        for seg in ex.segments:
+            assert seg.kind in SEGMENT_KINDS
+            assert seg.duration > 0.0
+        return ex
+
+    def test_chain(self, algo, chain3, net2):
+        self._check(algo, chain3, net2)
+
+    def test_diamond(self, algo, diamond4, net4):
+        self._check(algo, diamond4, net4)
+
+    def test_fork_join_wan(self, algo, fork8, wan16):
+        ex = self._check(algo, fork8, wan16)
+        # the binding chain must name real resources, largest share first
+        shares = list(ex.by_resource().values())
+        assert shares == sorted(shares, reverse=True)
+
+    def test_single_task(self, algo, net2):
+        g = TaskGraph()
+        g.add_task(0, 6.0)
+        schedule = SCHEDULERS[algo]().schedule(g, net2)
+        ex = explain(schedule)
+        assert [s.kind for s in ex.segments] == ["compute"]
+        assert ex.by_category() == {"compute": schedule.makespan}
+
+
+def _chain3() -> TaskGraph:
+    g = TaskGraph(name="chain3")
+    g.add_task(0, 2.0)
+    g.add_task(1, 3.0)
+    g.add_task(2, 4.0)
+    g.add_edge(0, 1, 5.0)
+    g.add_edge(1, 2, 6.0)
+    return g
+
+
+@pytest.mark.parametrize("algo", ALL_ALGOS)
+class TestPerturbation:
+    """The explanation's binding set is causal, not cosmetic."""
+
+    def test_chain_binds_to_the_fast_processor(self, algo):
+        schedule = SCHEDULERS[algo]().schedule(_chain3(), detour_net())
+        ex = explain(schedule)
+        assert ex.binding_resources() == ["P0"]
+
+    def test_slowing_the_binding_processor_moves_the_makespan(self, algo):
+        base = SCHEDULERS[algo]().schedule(_chain3(), detour_net()).makespan
+        perturbed = SCHEDULERS[algo]().schedule(
+            _chain3(), detour_net(p0=1.0)
+        ).makespan
+        assert perturbed != base
+        assert perturbed > base  # the binding resource got slower
+
+    def test_slowing_a_non_binding_link_changes_nothing(self, algo):
+        base = SCHEDULERS[algo]().schedule(_chain3(), detour_net()).makespan
+        perturbed = SCHEDULERS[algo]().schedule(
+            _chain3(), detour_net(detour=0.25)
+        ).makespan
+        assert perturbed == base
+
+
+@pytest.mark.parametrize("algo", ["ba", "packet-ba"])
+class TestLinkBindingPerturbation:
+    """Contention-bound schedules name links, and those links are causal.
+
+    Restricted to the hop-count routers whose placement decisions don't read
+    unused link speeds (MLS-based priorities make the detour observable to
+    the lookahead heuristics, so only routing-pure algorithms qualify).
+    """
+
+    def test_fork_join_explanation_names_links(self, algo):
+        g = fork_join(8, rng=7)
+        ex = explain(SCHEDULERS[algo]().schedule(g, detour_net()))
+        assert any(r.startswith("L") for r in ex.binding_resources())
+        assert "transfer" in ex.by_category()
+
+    def test_slowing_binding_links_moves_the_makespan(self, algo):
+        g = fork_join(8, rng=7)
+        base = SCHEDULERS[algo]().schedule(g, detour_net()).makespan
+        perturbed = SCHEDULERS[algo]().schedule(
+            g, detour_net(cross=0.5)
+        ).makespan
+        assert perturbed != base
+
+    def test_slowing_the_detour_still_changes_nothing(self, algo):
+        g = fork_join(8, rng=7)
+        base = SCHEDULERS[algo]().schedule(g, detour_net()).makespan
+        perturbed = SCHEDULERS[algo]().schedule(
+            g, detour_net(detour=0.25)
+        ).makespan
+        assert perturbed == base
+
+
+class TestExplanationApi:
+    @pytest.fixture
+    def explanation(self, fork8, wan16):
+        return explain(SCHEDULERS["ba"]().schedule(fork8, wan16))
+
+    def test_timelines_cover_processors_then_links(self, explanation):
+        names = [tl.resource for tl in explanation.timelines]
+        kinds = [n[0] for n in names]
+        assert "P" in kinds
+        assert kinds == sorted(kinds, key=lambda k: k != "P")  # P block first
+
+    def test_processor_utilization_is_a_fraction(self, explanation):
+        for tl in explanation.timelines:
+            if not tl.resource.startswith("P"):
+                continue
+            u = tl.utilization(explanation.makespan)
+            assert 0.0 < u <= 1.0 + 1e-12
+            # merged intervals are disjoint and ordered
+            for (s1, f1), (s2, f2) in zip(tl.busy, tl.busy[1:]):
+                assert f1 < s2 or (f1 <= s2)
+                assert s1 < f1 and s2 < f2
+
+    def test_timeline_lookup(self, explanation):
+        first = explanation.timelines[0]
+        assert explanation.timeline(first.resource) == first
+        assert explanation.timeline("P999") is None
+
+    def test_to_dict_is_json_ready(self, explanation):
+        doc = json.loads(json.dumps(explanation.to_dict()))
+        assert doc["algorithm"] == explanation.algorithm
+        assert doc["makespan"] == explanation.makespan
+        assert sum(doc["by_category"].values()) == pytest.approx(
+            explanation.makespan, abs=1e-9
+        )
+        assert len(doc["segments"]) == len(explanation.segments)
+        for seg in doc["segments"]:
+            assert seg["kind"] in SEGMENT_KINDS
+
+    def test_utilization_timelines_standalone(self, chain3, net2):
+        schedule = SCHEDULERS["classic"]().schedule(chain3, net2)
+        timelines = utilization_timelines(schedule)
+        procs = [tl for tl in timelines if tl.resource.startswith("P")]
+        assert procs
+        total_busy = sum(tl.busy_time for tl in procs)
+        assert total_busy == pytest.approx(chain3.total_work(), abs=1e-9)

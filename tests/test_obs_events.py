@@ -90,6 +90,77 @@ class TestEnabledRun:
         assert len(first.stats.events) == len(second.stats.events)
 
 
+class TestQuietReentrancy:
+    def test_nested_quiet_blocks_suppress_until_the_outermost_exit(self):
+        obs.enable(ListSink())
+        bus = obs.BUS
+        with bus.quiet():
+            bus.emit("task_placed", task=0)
+            with bus.quiet():
+                bus.emit("task_placed", task=1)
+            # inner exit must NOT resume emission — the outer block still holds
+            assert bus.quieted
+            bus.emit("task_placed", task=2)
+        assert not bus.quieted
+        bus.emit("task_placed", task=3)
+        events = list(bus.iter_events())
+        assert [e.data["task"] for e in events] == [3]
+
+    def test_quiet_survives_exceptions(self):
+        obs.enable(ListSink())
+        bus = obs.BUS
+        with pytest.raises(ValueError):
+            with bus.quiet():
+                raise ValueError("probe blew up")
+        assert not bus.quieted
+        bus.emit("task_placed", task=7)
+        assert len(list(bus.iter_events())) == 1
+
+    def test_quiet_block_is_reusable(self):
+        # A probe loop re-enters the same bus's quiet() many times; the
+        # suspension depth must return to zero every iteration.
+        obs.enable(ListSink())
+        bus = obs.BUS
+        for _ in range(5):
+            with bus.quiet():
+                bus.emit("task_placed", task=0)
+            assert not bus.quieted
+        assert list(bus.iter_events()) == []
+
+
+class TestBackToBackStats:
+    def test_stats_diff_isolates_runs_without_reset(self):
+        """Snapshot-diff stats are per-run even as global counters grow.
+
+        Each run gets a *fresh* workload (route tables and probe caches live
+        on the topology), so the second run's capture must equal a clean
+        single-run capture — no leakage from the BA run before it, and no
+        reset() in between.
+        """
+
+        def workload():
+            return scale_to_ccr(fork_join(16, rng=1), 8.0), switched_cluster(4)
+
+        obs.enable(ListSink())
+        g, net = workload()
+        alone = OIHSAScheduler().schedule(g, net)
+        obs.disable()
+        obs.reset()
+
+        obs.enable(ListSink())
+        g, net = workload()
+        BAScheduler().schedule(g, net)
+        g, net = workload()
+        stacked = OIHSAScheduler().schedule(g, net)
+        obs.disable()
+
+        assert stacked.stats.metrics["counters"] == alone.stats.metrics["counters"]
+        assert len(stacked.stats.events) == len(alone.stats.events)
+        assert [e.kind for e in stacked.stats.events] == [
+            e.kind for e in alone.stats.events
+        ]
+
+
 class TestBAvsOIHSA:
     def test_decision_counts_diverge_under_contention(self, contended):
         graph, net = contended

@@ -1,0 +1,237 @@
+"""Run-ledger tests: record round-trips, atomic sharded appends, lookup
+semantics, and the ``compare_to_baseline`` regression verdict."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ObsError
+from repro.obs import runlog
+from repro.obs.runlog import (
+    RUNLOG_SCHEMA,
+    RunLedger,
+    RunRecord,
+    compare_to_baseline,
+    fingerprint,
+    new_record,
+)
+
+
+def _record(**kwargs) -> RunRecord:
+    defaults = dict(fingerprint_doc={"workload": "chain3"})
+    defaults.update(kwargs)
+    return new_record("schedule", **defaults)
+
+
+class TestRecordAssembly:
+    def test_new_record_stamps_identity_fields(self):
+        rec = _record(makespans={"ba": 12.5}, wall_s=0.25)
+        assert rec.kind == "schedule"
+        assert len(rec.run_id) == 12
+        assert rec.schema == RUNLOG_SCHEMA
+        assert rec.fingerprint == fingerprint({"workload": "chain3"})
+        assert rec.makespans == {"ba": 12.5}
+        assert set(rec.env) == {"python", "platform", "repro"}
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ObsError, match="kind"):
+            new_record("banana", fingerprint_doc={})
+
+    def test_exactly_one_fingerprint_source(self):
+        with pytest.raises(ObsError, match="exactly one"):
+            new_record("schedule")
+        with pytest.raises(ObsError, match="exactly one"):
+            new_record("schedule", fingerprint_doc={}, config_fingerprint="ab")
+
+    def test_fingerprint_is_canonical(self):
+        # key order must not matter; any value change must.
+        assert fingerprint({"a": 1, "b": 2}) == fingerprint({"b": 2, "a": 1})
+        assert fingerprint({"a": 1}) != fingerprint({"a": 2})
+
+    def test_json_round_trip(self):
+        rec = _record(
+            makespans={"oihsa": 9.0},
+            metrics={"counters": {"routing.bfs_routes": 4.0}},
+            timings={"schedule.total": {"total": 0.5, "count": 1.0}},
+            meta={"n_tasks": 3},
+        )
+        back = RunRecord.from_dict(json.loads(rec.to_json()))
+        assert back == rec
+
+    def test_from_dict_ignores_unknown_fields(self):
+        rec = _record()
+        doc = json.loads(rec.to_json())
+        doc["added_in_schema_9"] = {"x": 1}
+        assert RunRecord.from_dict(doc) == rec
+
+    def test_to_text_mentions_the_essentials(self):
+        rec = _record(makespans={"ba": 12.5}, meta={"figure": "figure1"})
+        text = rec.to_text()
+        assert rec.run_id in text
+        assert "makespan[ba] = 12.5" in text
+        assert "figure1" in text
+
+
+class TestLedgerStore:
+    def test_append_creates_shard_named_after_run_id(self, tmp_path):
+        ledger = RunLedger(tmp_path / "runs")
+        rec = ledger.append(_record())
+        shard = tmp_path / "runs" / f"ledger-{rec.run_id[:2]}.jsonl"
+        assert shard.is_file()
+        assert json.loads(shard.read_text())["run_id"] == rec.run_id
+
+    def test_append_is_append_only(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        first = ledger.append(_record())
+        # force the second record into the same shard
+        second = _record()
+        second.run_id = first.run_id[:2] + "0000000000"
+        ledger.append(second)
+        lines = ledger._shard_path(first.run_id).read_text().splitlines()
+        assert [json.loads(ln)["run_id"] for ln in lines] == [
+            first.run_id,
+            second.run_id,
+        ]
+
+    def test_records_sorted_and_filtered_by_kind(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        a = ledger.append(_record())
+        b = ledger.append(new_record("bench", fingerprint_doc={"bench": 1}))
+        assert [r.run_id for r in ledger.records()] == sorted(
+            [a.run_id, b.run_id],
+            key=lambda rid: next(
+                (r.created_at, r.run_id) for r in (a, b) if r.run_id == rid
+            ),
+        )
+        assert [r.run_id for r in ledger.records(kind="bench")] == [b.run_id]
+        assert ledger.latest(kind="bench").run_id == b.run_id
+        assert ledger.latest(kind="sweep") is None
+
+    def test_get_by_unique_prefix_and_ambiguity(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        rec = ledger.append(_record())
+        twin = _record()
+        twin.run_id = rec.run_id[:6] + "ffffff"
+        ledger.append(twin)
+        assert ledger.get(rec.run_id).run_id == rec.run_id
+        with pytest.raises(ObsError, match="ambiguous"):
+            ledger.get(rec.run_id[:6])
+        with pytest.raises(ObsError, match="no ledger record"):
+            ledger.get("zzzz")
+
+    def test_newer_schema_records_are_skipped(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        rec = _record()
+        rec.schema = RUNLOG_SCHEMA + 1
+        ledger.append(rec)
+        assert ledger.records() == []
+
+    def test_malformed_line_reports_path_and_lineno(self, tmp_path):
+        ledger = RunLedger(tmp_path)
+        ledger.append(_record())
+        shard = next((tmp_path).glob("ledger-*.jsonl"))
+        with open(shard, "a") as fh:
+            fh.write("{not json\n")
+        with pytest.raises(ObsError, match=rf"{shard.name}:2"):
+            ledger.records()
+
+    def test_module_level_append_respects_env_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNS_DIR", str(tmp_path / "env-runs"))
+        rec = runlog.append(_record())
+        assert RunLedger().get(rec.run_id).run_id == rec.run_id
+        assert (tmp_path / "env-runs").is_dir()
+
+    def test_concurrent_style_appends_interleave_whole_lines(self, tmp_path):
+        # Two ledgers on the same root (as parallel CI jobs would be): every
+        # line must parse — O_APPEND + single write means no torn lines.
+        a, b = RunLedger(tmp_path), RunLedger(tmp_path)
+        for i in range(10):
+            (a if i % 2 else b).append(_record(meta={"i": i}))
+        recs = RunLedger(tmp_path).records()
+        assert sorted(r.meta["i"] for r in recs) == list(range(10))
+
+
+def _bench_baseline() -> dict:
+    return {
+        "algorithms": {
+            "ba": {
+                "makespan": 100.0,
+                "counters": {"routing.bfs_routes": 50.0},
+                "wall_s": 0.10,
+            },
+            "oihsa": {
+                "makespan": 80.0,
+                "counters": {"routing.bfs_routes": 60.0},
+                "wall_s": 0.20,
+            },
+        }
+    }
+
+
+def _bench_record(makespans, counters=None, wall=None) -> RunRecord:
+    return new_record(
+        "bench",
+        fingerprint_doc={"bench": "x"},
+        makespans=makespans,
+        meta={"counters": counters or {}, "wall_s": wall or {}},
+    )
+
+
+class TestCompareToBaseline:
+    def test_matching_run_produces_no_findings(self):
+        rec = _bench_record(
+            {"ba": 100.0, "oihsa": 80.0},
+            counters={
+                "ba": {"routing.bfs_routes": 50.0},
+                "oihsa": {"routing.bfs_routes": 60.0},
+            },
+        )
+        assert compare_to_baseline(rec, _bench_baseline()) == []
+
+    def test_makespan_drift_fails_at_zero_tolerance(self):
+        rec = _bench_record({"ba": 100.0, "oihsa": 80.0001})
+        findings = compare_to_baseline(rec, _bench_baseline())
+        assert [f.field for f in findings] == ["makespan"]
+        assert findings[0].algorithm == "oihsa"
+
+    def test_rel_tol_absorbs_small_drift(self):
+        rec = _bench_record({"ba": 100.0, "oihsa": 80.0001})
+        assert compare_to_baseline(rec, _bench_baseline(), rel_tol=1e-3) == []
+
+    def test_missing_algorithm_is_a_coverage_finding(self):
+        rec = _bench_record({"ba": 100.0})
+        findings = compare_to_baseline(rec, _bench_baseline())
+        assert [(f.algorithm, f.field) for f in findings] == [
+            ("oihsa", "coverage")
+        ]
+
+    def test_counter_drift_detected(self):
+        rec = _bench_record(
+            {"ba": 100.0, "oihsa": 80.0},
+            counters={
+                "ba": {"routing.bfs_routes": 51.0},
+                "oihsa": {"routing.bfs_routes": 60.0},
+            },
+        )
+        findings = compare_to_baseline(rec, _bench_baseline())
+        assert [f.field for f in findings] == ["counter:routing.bfs_routes"]
+        assert findings[0].algorithm == "ba"
+
+    def test_wall_gated_only_when_tolerance_given(self):
+        rec = _bench_record(
+            {"ba": 100.0, "oihsa": 80.0},
+            counters={
+                "ba": {"routing.bfs_routes": 50.0},
+                "oihsa": {"routing.bfs_routes": 60.0},
+            },
+            wall={"ba": 0.50, "oihsa": 0.20},
+        )
+        assert compare_to_baseline(rec, _bench_baseline()) == []
+        findings = compare_to_baseline(rec, _bench_baseline(), wall_tol=2.0)
+        assert [f.field for f in findings] == ["wall_s"]
+
+    def test_non_bench_baseline_rejected(self):
+        with pytest.raises(ObsError, match="algorithms"):
+            compare_to_baseline(_bench_record({}), {"makespans": {}})

@@ -272,3 +272,72 @@ class TestExecuteUnits:
         _, units = plan_sweep(CFG, "ccr")
         results = execute_units(CFG, units, jobs=2)
         assert [r.index for r in results] == [u.index for u in units]
+
+
+class TestTelemetryEquivalence:
+    """The deterministic telemetry subset is worker-count invariant."""
+
+    def _telemetry(self, *, jobs, cache=None):
+        out: list = []
+        improvement_series(
+            CFG,
+            sweep="ccr",
+            with_metrics=True,
+            jobs=jobs,
+            cache=cache,
+            telemetry_out=out,
+        )
+        assert len(out) == 1
+        return out[0]
+
+    def test_deterministic_form_byte_identical_jobs_1_vs_4(self):
+        import json
+
+        serial = self._telemetry(jobs=1)
+        fanned = self._telemetry(jobs=4)
+        as_bytes = lambda t: json.dumps(  # noqa: E731
+            t.to_dict(deterministic_only=True), sort_keys=True
+        ).encode()
+        assert as_bytes(serial) == as_bytes(fanned)
+
+    def test_units_carry_counters_and_span_counts(self):
+        telemetry = self._telemetry(jobs=2)
+        doc = telemetry.to_dict(deterministic_only=True)
+        assert [u["index"] for u in doc["units"]] == list(range(len(doc["units"])))
+        unit = doc["units"][0]
+        assert unit["fresh_algorithms"] == sorted(CFG.algorithms)
+        assert unit["counters"]  # workers shipped their counter deltas back
+        assert unit["span_counts"]  # ...and their phase spans
+        for algo in CFG.algorithms:
+            assert unit["span_counts"][algo]["task_placement"] >= 1
+
+    def test_wall_clock_fields_excluded_from_deterministic_form(self):
+        telemetry = self._telemetry(jobs=2)
+        full = telemetry.to_dict()["units"][0]
+        deterministic = telemetry.to_dict(deterministic_only=True)["units"][0]
+        for key in ("wall_s", "worker", "t_start", "t_end", "timings"):
+            assert key in full
+            assert key not in deterministic
+
+    def test_cache_attribution_sees_warm_cache(self, tmp_path):
+        cold = self._telemetry(jobs=1, cache=ResultCache(tmp_path))
+        warm = self._telemetry(jobs=2, cache=ResultCache(tmp_path))
+        n = len(cold.units)
+        assert cold.cache_attribution()["units_fresh"] == n
+        attribution = warm.cache_attribution()
+        assert attribution["units_cached"] == n
+        assert attribution["algorithm_runs_fresh"] == 0
+
+    def test_worker_utilization_covers_every_fresh_unit(self):
+        telemetry = self._telemetry(jobs=2)
+        workers = telemetry.worker_utilization()
+        assert workers
+        assert sum(w["units"] for w in workers) == len(telemetry.units)
+        for w in workers:
+            assert w["busy_s"] > 0.0
+            assert 0.0 < w["utilization"] <= 1.0 + 1e-9
+        summary = telemetry.summary_dict()
+        assert summary["workers"] == len(workers)
+        text = telemetry.to_text(prefix="[sweep] ")
+        assert text.startswith("[sweep] ")
+        assert "units" in text and "worker" in text

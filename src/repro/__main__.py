@@ -18,6 +18,10 @@ Commands:
 - ``runs``     — query the run ledger (``list`` / ``show`` / ``diff`` /
   ``compare --baseline BENCH_*.json``); every ``schedule`` / ``figures`` /
   bench invocation appends a record under ``.repro-runs/``,
+- ``topo``     — datacenter fabric generators (``build`` / ``info`` /
+  ``validate``): emit a fat-tree / leaf-spine / torus topology as JSON,
+  describe its closed-form structure, or check every structural invariant
+  plus route identity against the flat reference search,
 - ``lint``     — run the repo-specific static-analysis rules (determinism,
   float discipline, obs guards, transaction safety; see
   ``docs/static_analysis.md``),
@@ -54,6 +58,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
             config = ExperimentConfig.smoke(heterogeneous=hetero)
         else:
             config = ExperimentConfig.default(heterogeneous=hetero)
+        config = config.with_(topology=args.topology)
         t0 = perf_counter()
         fig = ALL_FIGURES[name](config, jobs=args.jobs, cache=cache)
         wall = perf_counter() - t0
@@ -73,6 +78,7 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                     "figure": name,
                     "scale": args.scale,
                     "jobs": args.jobs,
+                    "topology": args.topology,
                     **(
                         {"telemetry": telemetry.summary_dict()}
                         if telemetry is not None
@@ -412,6 +418,148 @@ def _cmd_runs_compare(args: argparse.Namespace) -> int:
     return 1
 
 
+def _fabric_from_args(args: argparse.Namespace):
+    """Build the fabric topology the ``topo`` flags describe.
+
+    Structure flags (``--k`` / ``--leaves`` / ``--dims`` ...) pin the exact
+    instance; with only ``--procs`` the canonical instance for that
+    processor count is sized automatically (``fabric_for_procs``).
+    """
+    from repro.network.fabrics import (
+        fabric_for_procs,
+        kary_fat_tree,
+        leaf_spine,
+        torus_fabric,
+    )
+
+    kind = args.kind
+    if kind == "fat_tree":
+        if args.k is None:
+            return fabric_for_procs("fat_tree", args.procs or 16)
+        return kary_fat_tree(
+            args.k, hosts_per_edge=args.hosts_per_edge, n_procs=args.procs
+        )
+    if kind == "leaf_spine":
+        if args.leaves is None and args.spines is None:
+            return fabric_for_procs("leaf_spine", args.procs or 16)
+        return leaf_spine(
+            args.leaves or 4,
+            args.spines or 2,
+            args.hosts_per_leaf,
+            n_procs=args.procs,
+        )
+    if args.dims is None:
+        return fabric_for_procs("torus", args.procs or 16)
+    return torus_fabric(
+        tuple(args.dims), hosts_per_node=args.hosts_per_node, n_procs=args.procs
+    )
+
+
+def _cmd_topo_build(args: argparse.Namespace) -> int:
+    from repro.exceptions import TopologyError
+    from repro.network.fabrics import fabric_plan
+    from repro.network.io import topology_to_json
+
+    try:
+        net = _fabric_from_args(args)
+    except TopologyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    doc = topology_to_json(net)
+    if args.output:
+        with open(args.output, "w") as fh:
+            fh.write(doc + "\n")
+        plan = fabric_plan(net)
+        counts = plan.expected_counts() if plan is not None else None
+        print(
+            f"wrote {net.name}: {counts.processors} processors, "
+            f"{counts.switches} switches, {counts.cables} cables "
+            f"to {args.output}"
+            if counts is not None
+            else f"wrote {net.name} to {args.output}"
+        )
+    else:
+        print(doc)
+    return 0
+
+
+def _cmd_topo_info(args: argparse.Namespace) -> int:
+    from repro.exceptions import TopologyError
+    from repro.network.fabrics import fabric_plan
+
+    try:
+        net = _fabric_from_args(args)
+    except TopologyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    plan = fabric_plan(net)
+    assert plan is not None  # every fabric builder attaches its plan
+    counts = plan.expected_counts()
+    params = ", ".join(
+        f"{key}={value}"
+        for key, value in plan.describe().items()
+        if key not in ("kind", "hosts")
+    )
+    print(f"fabric:     {plan.kind} ({params})")
+    print(f"name:       {net.name}")
+    print(f"processors: {counts.processors}")
+    print(f"switches:   {counts.switches}")
+    print(f"cables:     {counts.cables} (full duplex: {2 * counts.cables} links)")
+    print(f"diameter:   <= {counts.diameter} hops processor-to-processor")
+    print(f"ecmp width: up to {counts.ecmp_width} equal-cost paths")
+    print("routing:    hierarchical (per-shard lazy tables, "
+          "bit-identical to flat BFS)")
+    return 0
+
+
+def _cmd_topo_validate(args: argparse.Namespace) -> int:
+    from repro.exceptions import RoutingError, TopologyError
+    from repro.network.fabrics import validate_fabric
+    from repro.network.io import topology_to_json
+    from repro.network.routing import bfs_route, equal_cost_routes
+
+    try:
+        net = _fabric_from_args(args)
+        validate_fabric(net)
+    except TopologyError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    # Differential check: the attached hierarchical router must reproduce
+    # the flat reference search on a deterministic sample of processor
+    # pairs (all pairs on small fabrics).
+    flat = _fabric_from_args(args)
+    flat.detach_router()
+    procs = [p.vid for p in net.processors()]
+    pairs = [(s, d) for s in procs for d in procs if s != d]
+    step = max(1, len(pairs) // args.sample)
+    checked = 0
+    try:
+        for s, d in pairs[::step]:
+            hier = [l.lid for l in bfs_route(net, s, d)]
+            ref = [l.lid for l in bfs_route(flat, s, d)]
+            if hier != ref:
+                print(f"FAIL: route {s}->{d} differs: {hier} vs flat {ref}")
+                return 1
+            ecmp = equal_cost_routes(flat, s, d, max_paths=64)
+            if any(len(r) != len(hier) for r in ecmp):
+                print(f"FAIL: ECMP set {s}->{d} is not equal-cost")
+                return 1
+            checked += 1
+    except RoutingError as exc:
+        print(f"FAIL: {exc}")
+        return 1
+    if args.file:
+        with open(args.file) as fh:
+            if fh.read().rstrip("\n") != topology_to_json(net):
+                print(f"FAIL: {args.file} differs from a fresh "
+                      f"{net.name} build")
+                return 1
+    print(f"OK: {net.name} valid; {checked} sampled routes identical to "
+          "flat BFS, ECMP sets equal-cost"
+          + (f"; {args.file} matches" if args.file else ""))
+    return 0
+
+
 #: workload sizes for ``profile`` (tasks, processors)
 _PROFILE_SCALES = {"smoke": (24, 8), "default": (80, 16)}
 
@@ -557,6 +705,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-cache", action="store_true",
         help="disable the on-disk result cache",
     )
+    from repro.experiments.config import SWEEP_TOPOLOGIES
+
+    p.add_argument(
+        "--topology", choices=SWEEP_TOPOLOGIES, default="random_wan",
+        help="network family for the sweep points (datacenter fabrics are "
+        "sized per processor count)",
+    )
     p.add_argument(
         "--cache-dir", default=None, metavar="DIR",
         help="result cache location (default: $REPRO_CACHE_DIR or "
@@ -666,6 +821,60 @@ def build_parser() -> argparse.ArgumentParser:
                    "(default: wall time is reported, never gated)")
     q.add_argument("--runs-dir", default=None, metavar="DIR")
     q.set_defaults(fn=_cmd_runs_compare)
+
+    p = sub.add_parser(
+        "topo",
+        help="datacenter fabric generators (build / info / validate)",
+    )
+    topo_sub = p.add_subparsers(dest="topo_command", required=True)
+
+    def _add_fabric_arguments(q: argparse.ArgumentParser) -> None:
+        q.add_argument(
+            "kind", choices=("fat_tree", "leaf_spine", "torus"),
+            help="fabric family",
+        )
+        q.add_argument("--k", type=int, default=None,
+                       help="fat-tree arity (even; k pods, k^3/4 hosts)")
+        q.add_argument("--hosts-per-edge", type=int, default=None,
+                       help="fat-tree hosts per edge switch (default k/2)")
+        q.add_argument("--leaves", type=int, default=None,
+                       help="leaf-spine leaf switch count")
+        q.add_argument("--spines", type=int, default=None,
+                       help="leaf-spine spine switch count")
+        q.add_argument("--hosts-per-leaf", type=int, default=16,
+                       help="leaf-spine hosts per leaf switch")
+        q.add_argument("--dims", type=int, nargs="+", default=None,
+                       metavar="N", help="torus dimensions (2 or 3 values)")
+        q.add_argument("--hosts-per-node", type=int, default=1,
+                       help="torus hosts per grid switch")
+        q.add_argument(
+            "--procs", type=int, default=None,
+            help="cap the host count; alone (no structure flags), size the "
+            "canonical fabric for this processor count",
+        )
+
+    q = topo_sub.add_parser("build", help="emit the fabric topology as JSON")
+    _add_fabric_arguments(q)
+    q.add_argument("-o", "--output", default=None, metavar="PATH",
+                   help="write JSON here instead of stdout")
+    q.set_defaults(fn=_cmd_topo_build)
+
+    q = topo_sub.add_parser("info", help="describe the fabric's structure")
+    _add_fabric_arguments(q)
+    q.set_defaults(fn=_cmd_topo_info)
+
+    q = topo_sub.add_parser(
+        "validate",
+        help="check structural invariants + route identity vs flat BFS "
+        "(exit 1 on any violation)",
+    )
+    _add_fabric_arguments(q)
+    q.add_argument("--sample", type=int, default=200, metavar="N",
+                   help="max processor pairs to route-check (default 200)")
+    q.add_argument("--file", default=None, metavar="PATH",
+                   help="also check this JSON file is byte-identical to a "
+                   "fresh build")
+    q.set_defaults(fn=_cmd_topo_validate)
 
     p = sub.add_parser(
         "profile",

@@ -26,6 +26,13 @@ PAPER_CCRS: tuple[float, ...] = (
 #: Processor-count grid of Figures 2 and 4.
 PAPER_PROC_COUNTS: tuple[int, ...] = (2, 4, 8, 16, 32, 64, 128)
 
+#: Network families a sweep can run on: the paper's random WAN plus the
+#: datacenter fabrics (see :mod:`repro.network.fabrics`), sized for each
+#: sweep point's processor count via ``fabric_for_procs``.
+SWEEP_TOPOLOGIES: tuple[str, ...] = (
+    "random_wan", "fat_tree", "leaf_spine", "torus",
+)
+
 
 @dataclass(frozen=True)
 class ExperimentConfig:
@@ -44,8 +51,15 @@ class ExperimentConfig:
     seed: int = 20060814  # ICPP 2006 started 2006-08-14
     algorithms: tuple[str, ...] = ("ba", "oihsa", "bbsa")
     baseline: str = "ba"
+    #: network family per sweep point (see :data:`SWEEP_TOPOLOGIES`)
+    topology: str = "random_wan"
 
     def __post_init__(self) -> None:
+        if self.topology not in SWEEP_TOPOLOGIES:
+            raise ReproError(
+                f"unknown sweep topology {self.topology!r}; "
+                f"known: {', '.join(SWEEP_TOPOLOGIES)}"
+            )
         if self.baseline not in self.algorithms:
             raise ReproError(
                 f"baseline {self.baseline!r} missing from algorithms {self.algorithms}"

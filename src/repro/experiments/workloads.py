@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.experiments.config import ExperimentConfig
 from repro.network.builders import random_wan
+from repro.network.fabrics import fabric_for_procs
 from repro.network.topology import NetworkTopology
 from repro.taskgraph.ccr import scale_to_ccr
 from repro.taskgraph.generators import random_layered_dag
@@ -68,12 +69,24 @@ def paper_workload(
     else:
         proc_speed = 1.0
         link_speed = 1.0
-    net = random_wan(
-        n_procs,
-        gen,
-        proc_speed=proc_speed,
-        link_speed=link_speed,
-    )
+    if config.topology == "random_wan":
+        net = random_wan(
+            n_procs,
+            gen,
+            proc_speed=proc_speed,
+            link_speed=link_speed,
+        )
+    else:
+        # Datacenter fabric sized for the sweep point's exact processor
+        # count; routes come from the attached hierarchical router (lazy,
+        # sharded) and are bit-identical to flat BFS on the same topology.
+        net = fabric_for_procs(
+            config.topology,
+            n_procs,
+            gen,
+            proc_speed=proc_speed,
+            link_speed=link_speed,
+        )
     return WorkloadInstance(
         graph=graph,
         net=net,

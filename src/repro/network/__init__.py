@@ -21,7 +21,23 @@ from repro.network.builders import (
     torus3d,
     dragonfly,
 )
-from repro.network.routing import bfs_route, dijkstra_route
+from repro.network.routing import (
+    HierarchicalRouter,
+    bfs_route,
+    dijkstra_route,
+    equal_cost_routes,
+)
+from repro.network.fabrics import (
+    FabricCounts,
+    FABRIC_BUILDERS,
+    build_fabric,
+    fabric_for_procs,
+    fabric_plan,
+    kary_fat_tree,
+    leaf_spine,
+    torus_fabric,
+    validate_fabric,
+)
 from repro.network.validate import validate_topology
 from repro.network.io import topology_to_json, topology_from_json, topology_to_dot
 
@@ -44,6 +60,17 @@ __all__ = [
     "dragonfly",
     "bfs_route",
     "dijkstra_route",
+    "equal_cost_routes",
+    "HierarchicalRouter",
+    "FabricCounts",
+    "FABRIC_BUILDERS",
+    "build_fabric",
+    "fabric_for_procs",
+    "fabric_plan",
+    "kary_fat_tree",
+    "leaf_spine",
+    "torus_fabric",
+    "validate_fabric",
     "validate_topology",
     "topology_to_json",
     "topology_from_json",

@@ -1,0 +1,958 @@
+"""Datacenter fabric generators: k-ary fat-tree, leaf-spine, 2D/3D torus.
+
+The paper evaluates on random WAN-like switch graphs; production scheduling
+happens on *regular* fabrics whose structure routing can exploit.  Each
+builder here emits an ordinary :class:`~repro.network.topology
+.NetworkTopology` (switch + processor vertices, full-duplex point-to-point
+cables) **plus** a :class:`FabricPlan` describing the structure — pod
+membership, tier switch ids, the link between any wired vertex pair — and
+attaches a :class:`~repro.network.routing.HierarchicalRouter` built from
+that plan, so every engine's ``bfs_route`` call is transparently served
+from sharded, lazily materialized per-pod route tables.
+
+Route identity contract
+-----------------------
+
+The canonical route between two processors is *defined* as the route flat
+BFS (link-id tie-break) returns on the same topology.  Fat-tree and
+leaf-spine plans reproduce it analytically in O(route length): cables are
+created hosts-before-uplinks per switch and pod-major across tiers, so the
+BFS expansion always discovers the lowest-indexed aggregation/spine/core
+choice first, and the analytic "smallest-id up-path, forced down-path"
+selection coincides with the BFS parent chain.  The torus has no such
+tree-shaped argument, so its plan lets the router fall back to the exact
+shared BFS — regularity is still exploited for the ECMP set enumeration,
+the closed-form invariants, and the per-slab sharding.
+``tests/test_routing_equivalence.py`` checks the identity pairwise against
+a router-less clone for every fabric family.
+
+Determinism: with scalar speeds a builder is a pure function of its
+parameters — two calls yield byte-identical
+:func:`~repro.network.io.topology_to_json` documents.  Heterogeneous
+speeds come from a seeded RNG, like every other builder.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+import numpy as np
+
+from repro.exceptions import RoutingError, TopologyError
+from repro.network.builders import SpeedSpec, TOPOLOGY_BUILDERS, _speed_sampler
+from repro.network.routing import HierarchicalRouter, equal_cost_routes
+from repro.network.topology import Link, NetworkTopology, Route, Vertex
+from repro.network.validate import validate_topology
+from repro.types import VertexId
+from repro.utils.rng import as_rng
+
+__all__ = [
+    "FabricCounts",
+    "FatTreePlan",
+    "LeafSpinePlan",
+    "TorusPlan",
+    "kary_fat_tree",
+    "leaf_spine",
+    "torus_fabric",
+    "FABRIC_BUILDERS",
+    "build_fabric",
+    "fabric_plan",
+    "validate_fabric",
+    "fabric_for_procs",
+]
+
+#: link map: ``(u, v) -> the directed link u->v`` recorded at cable creation
+LinkOf = dict[tuple[VertexId, VertexId], Link]
+
+
+@dataclass(frozen=True)
+class FabricCounts:
+    """Closed-form structural expectations of a fabric instance.
+
+    ``diameter`` is the canonical-route hop bound between any two distinct
+    processors of the *uncapped* fabric; ``ecmp_width`` the maximum
+    equal-cost path multiplicity over processor pairs.
+    """
+
+    processors: int
+    switches: int
+    cables: int
+    diameter: int
+    ecmp_width: int
+
+
+def _cable(
+    net: NetworkTopology,
+    link_of: LinkOf,
+    u: Vertex,
+    v: Vertex,
+    speed: float,
+) -> None:
+    """Create one full-duplex cable and record both directed links."""
+    fwd, bwd = net.connect(u, v, speed)
+    link_of[(u.vid, v.vid)] = fwd
+    link_of[(v.vid, u.vid)] = bwd
+
+
+def _check_degree(
+    net: NetworkTopology, vid: VertexId, expected: int, role: str
+) -> None:
+    actual = len(net.out_links(vid))
+    if actual != expected:
+        raise TopologyError(
+            f"{role} {vid} has {actual} cable(s), expected {expected}"
+        )
+
+
+def _check_link_map(net: NetworkTopology, link_of: LinkOf) -> None:
+    for (u, v), link in link_of.items():
+        if net.link(link.lid) is not link:
+            raise TopologyError(
+                f"link map entry ({u}, {v}) references unregistered link {link.lid}"
+            )
+        if link.src != u or link.dst != v:
+            raise TopologyError(
+                f"link map entry ({u}, {v}) points at link {link.lid} "
+                f"({link.src} -> {link.dst})"
+            )
+
+
+# ---------------------------------------------------------------------------
+# k-ary fat-tree
+# ---------------------------------------------------------------------------
+
+
+class FatTreePlan:
+    """Structure of a k-ary fat-tree (Clos): k pods, 3 switch tiers.
+
+    Pod ``p`` holds ``k/2`` edge and ``k/2`` aggregation switches; edge
+    switch ``e`` hosts up to ``hosts_per_edge`` processors; aggregation
+    switch ``a`` uplinks to cores ``a*(k/2) .. (a+1)*(k/2)-1``, so every
+    core reaches exactly one aggregation switch per pod.  Shard key = pod.
+    """
+
+    kind = "fat_tree"
+
+    def __init__(
+        self,
+        k: int,
+        hosts_per_edge: int,
+        host_loc: dict[VertexId, tuple[int, int, int]],
+        edge_sw: list[list[VertexId]],
+        agg_sw: list[list[VertexId]],
+        core_sw: list[VertexId],
+        link_of: LinkOf,
+    ) -> None:
+        self.k = k
+        self.hosts_per_edge = hosts_per_edge
+        self.host_loc = host_loc
+        self.edge_sw = edge_sw
+        self.agg_sw = agg_sw
+        self.core_sw = core_sw
+        self.link_of = link_of
+
+    def _loc(self, vid: VertexId) -> tuple[int, int, int]:
+        try:
+            return self.host_loc[vid]
+        except KeyError:
+            raise RoutingError(
+                f"vertex {vid} is not a fat-tree host processor"
+            ) from None
+
+    def shard_of(self, vid: VertexId) -> int:
+        return self._loc(vid)[0]
+
+    def canonical_route(
+        self, net: NetworkTopology, src: VertexId, dst: VertexId
+    ) -> Route | None:
+        ps, es, _ = self._loc(src)
+        pd, ed, _ = self._loc(dst)
+        lo = self.link_of
+        e_s = self.edge_sw[ps][es]
+        e_d = self.edge_sw[pd][ed]
+        if e_s == e_d:
+            return [lo[(src, e_s)], lo[(e_s, dst)]]
+        # The BFS tie-break always climbs through the lowest-indexed
+        # aggregation switch of the source pod (its uplink ids are smallest)
+        # and, across pods, through that switch's lowest core; the way back
+        # down is structurally forced (one core<->agg choice per pod, one
+        # edge switch per destination host).
+        a_up = self.agg_sw[ps][0]
+        if ps == pd:
+            return [
+                lo[(src, e_s)], lo[(e_s, a_up)], lo[(a_up, e_d)], lo[(e_d, dst)],
+            ]
+        core = self.core_sw[0]
+        a_down = self.agg_sw[pd][0]
+        return [
+            lo[(src, e_s)], lo[(e_s, a_up)], lo[(a_up, core)],
+            lo[(core, a_down)], lo[(a_down, e_d)], lo[(e_d, dst)],
+        ]
+
+    def equal_cost_routes(
+        self,
+        net: NetworkTopology,
+        src: VertexId,
+        dst: VertexId,
+        max_paths: int,
+    ) -> list[Route]:
+        ps, es, _ = self._loc(src)
+        pd, ed, _ = self._loc(dst)
+        lo = self.link_of
+        e_s = self.edge_sw[ps][es]
+        e_d = self.edge_sw[pd][ed]
+        if e_s == e_d:
+            return [[lo[(src, e_s)], lo[(e_s, dst)]]]
+        routes: list[Route] = []
+        if ps == pd:
+            # One 4-hop path per aggregation switch of the pod.
+            for agg in self.agg_sw[ps][:max_paths]:
+                routes.append(
+                    [lo[(src, e_s)], lo[(e_s, agg)], lo[(agg, e_d)], lo[(e_d, dst)]]
+                )
+            return routes
+        # One 6-hop path per core switch, in core-index order.
+        half = self.k // 2
+        for c_idx, core in enumerate(self.core_sw[:max_paths]):
+            a_up = self.agg_sw[ps][c_idx // half]
+            a_down = self.agg_sw[pd][c_idx // half]
+            routes.append(
+                [
+                    lo[(src, e_s)], lo[(e_s, a_up)], lo[(a_up, core)],
+                    lo[(core, a_down)], lo[(a_down, e_d)], lo[(e_d, dst)],
+                ]
+            )
+        return routes
+
+    def expected_counts(self) -> FabricCounts:
+        k = self.k
+        half = k // 2
+        n_procs = len(self.host_loc)
+        return FabricCounts(
+            processors=n_procs,
+            switches=k * k + half * half,
+            cables=n_procs + k * half * half + k * half * half,
+            diameter=6 if k >= 2 else 0,
+            ecmp_width=half * half,
+        )
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "k": self.k,
+            "pods": self.k,
+            "edge_switches_per_pod": self.k // 2,
+            "agg_switches_per_pod": self.k // 2,
+            "core_switches": (self.k // 2) ** 2,
+            "hosts_per_edge": self.hosts_per_edge,
+            "hosts": len(self.host_loc),
+        }
+
+    def validate(self, net: NetworkTopology) -> None:
+        """Fabric-specific structural invariants (raises TopologyError)."""
+        validate_topology(net)
+        _check_link_map(net, self.link_of)
+        k, half = self.k, self.k // 2
+        counts = self.expected_counts()
+        if len(net.processors()) != counts.processors:
+            raise TopologyError(
+                f"fat-tree has {len(net.processors())} processors, "
+                f"expected {counts.processors}"
+            )
+        if len(net.switches()) != counts.switches:
+            raise TopologyError(
+                f"fat-tree has {len(net.switches())} switches, "
+                f"expected {counts.switches}"
+            )
+        if net.num_links != 2 * counts.cables:
+            raise TopologyError(
+                f"fat-tree has {net.num_links} directed links, "
+                f"expected {2 * counts.cables}"
+            )
+        hosts_on_edge: dict[tuple[int, int], int] = {}
+        for vid, (pod, edge, _) in self.host_loc.items():
+            if not net.vertex(vid).is_processor:
+                raise TopologyError(f"host {vid} is not a processor")
+            _check_degree(net, vid, 1, "fat-tree host")
+            hosts_on_edge[(pod, edge)] = hosts_on_edge.get((pod, edge), 0) + 1
+        for pod in range(k):
+            for i in range(half):
+                n_hosts = hosts_on_edge.get((pod, i), 0)
+                _check_degree(
+                    net, self.edge_sw[pod][i], n_hosts + half,
+                    f"edge switch p{pod}e{i}",
+                )
+                _check_degree(
+                    net, self.agg_sw[pod][i], half + half,
+                    f"aggregation switch p{pod}a{i}",
+                )
+        for c_idx, core in enumerate(self.core_sw):
+            _check_degree(net, core, k, f"core switch c{c_idx}")
+
+
+def kary_fat_tree(
+    k: int,
+    *,
+    hosts_per_edge: int | None = None,
+    n_procs: int | None = None,
+    proc_speed: SpeedSpec = 1.0,
+    link_speed: SpeedSpec = 1.0,
+    rng: int | np.random.Generator | None = None,
+) -> NetworkTopology:
+    """Build a k-ary fat-tree fabric (k pods, full Clos core).
+
+    ``hosts_per_edge`` defaults to the canonical ``k/2`` (so the full
+    fabric hosts ``k^3/4`` processors); ``n_procs`` caps the total host
+    count, filling pods in order — trailing edge switches may end up
+    empty, which only trims leaves off the structure.
+    """
+    if k < 2 or k % 2 != 0:
+        raise TopologyError(f"fat-tree arity must be even and >= 2, got {k}")
+    half = k // 2
+    hpe = half if hosts_per_edge is None else hosts_per_edge
+    if hpe < 1:
+        raise TopologyError(f"hosts_per_edge must be >= 1, got {hpe}")
+    total = k * half * hpe
+    cap = total if n_procs is None else n_procs
+    if not 1 <= cap <= total:
+        raise TopologyError(
+            f"n_procs must be in [1, {total}] for k={k}, "
+            f"hosts_per_edge={hpe}; got {n_procs}"
+        )
+    gen = as_rng(rng)
+    net = NetworkTopology(name=f"fat_tree-k{k}-{cap}p")
+    pspeed = _speed_sampler(proc_speed, gen)
+    lspeed = _speed_sampler(link_speed, gen)
+
+    # Tier order matters: hosts, then edge/agg/core switches, then cables
+    # hosts-before-uplinks and pod-major — the route identity contract in
+    # the module docstring hangs off this ordering.
+    host_loc: dict[VertexId, tuple[int, int, int]] = {}
+    hosts: dict[tuple[int, int], list[Vertex]] = {}
+    remaining = cap
+    for pod in range(k):
+        for edge in range(half):
+            take = min(hpe, remaining)
+            remaining -= take
+            row = [net.add_processor(pspeed()) for _ in range(take)]
+            hosts[(pod, edge)] = row
+            for slot, p in enumerate(row):
+                host_loc[p.vid] = (pod, edge, slot)
+    edge_sw = [
+        [net.add_switch(f"p{pod}e{i}") for i in range(half)] for pod in range(k)
+    ]
+    agg_sw = [
+        [net.add_switch(f"p{pod}a{i}") for i in range(half)] for pod in range(k)
+    ]
+    core_sw = [net.add_switch(f"c{j}") for j in range(half * half)]
+
+    link_of: LinkOf = {}
+    for pod in range(k):
+        for edge in range(half):
+            sw = edge_sw[pod][edge]
+            for p in hosts[(pod, edge)]:
+                _cable(net, link_of, p, sw, lspeed())
+            for agg in agg_sw[pod]:
+                _cable(net, link_of, sw, agg, lspeed())
+    for pod in range(k):
+        for a, agg in enumerate(agg_sw[pod]):
+            for j in range(half):
+                _cable(net, link_of, agg, core_sw[a * half + j], lspeed())
+
+    plan = FatTreePlan(
+        k=k,
+        hosts_per_edge=hpe,
+        host_loc=host_loc,
+        edge_sw=[[sw.vid for sw in row] for row in edge_sw],
+        agg_sw=[[sw.vid for sw in row] for row in agg_sw],
+        core_sw=[sw.vid for sw in core_sw],
+        link_of=link_of,
+    )
+    net.attach_router(HierarchicalRouter(net, plan))
+    return net
+
+
+# ---------------------------------------------------------------------------
+# leaf-spine
+# ---------------------------------------------------------------------------
+
+
+class LeafSpinePlan:
+    """Structure of a two-tier leaf-spine fabric.
+
+    Every leaf switch cables to every spine switch; processors hang off
+    leaves.  Shard key = leaf index.
+    """
+
+    kind = "leaf_spine"
+
+    def __init__(
+        self,
+        leaves: int,
+        spines: int,
+        hosts_per_leaf: int,
+        host_loc: dict[VertexId, tuple[int, int]],
+        leaf_sw: list[VertexId],
+        spine_sw: list[VertexId],
+        link_of: LinkOf,
+    ) -> None:
+        self.leaves = leaves
+        self.spines = spines
+        self.hosts_per_leaf = hosts_per_leaf
+        self.host_loc = host_loc
+        self.leaf_sw = leaf_sw
+        self.spine_sw = spine_sw
+        self.link_of = link_of
+
+    def _loc(self, vid: VertexId) -> tuple[int, int]:
+        try:
+            return self.host_loc[vid]
+        except KeyError:
+            raise RoutingError(
+                f"vertex {vid} is not a leaf-spine host processor"
+            ) from None
+
+    def shard_of(self, vid: VertexId) -> int:
+        return self._loc(vid)[0]
+
+    def canonical_route(
+        self, net: NetworkTopology, src: VertexId, dst: VertexId
+    ) -> Route | None:
+        ls, _ = self._loc(src)
+        ld, _ = self._loc(dst)
+        lo = self.link_of
+        leaf_s = self.leaf_sw[ls]
+        if ls == ld:
+            return [lo[(src, leaf_s)], lo[(leaf_s, dst)]]
+        # Flat BFS always crosses through spine 0: each leaf's uplinks are
+        # created in spine order, so spine 0 is both the first level-2
+        # vertex expanded and the first to discover every other leaf.
+        spine = self.spine_sw[0]
+        leaf_d = self.leaf_sw[ld]
+        return [
+            lo[(src, leaf_s)], lo[(leaf_s, spine)],
+            lo[(spine, leaf_d)], lo[(leaf_d, dst)],
+        ]
+
+    def equal_cost_routes(
+        self,
+        net: NetworkTopology,
+        src: VertexId,
+        dst: VertexId,
+        max_paths: int,
+    ) -> list[Route]:
+        ls, _ = self._loc(src)
+        ld, _ = self._loc(dst)
+        lo = self.link_of
+        leaf_s = self.leaf_sw[ls]
+        if ls == ld:
+            return [[lo[(src, leaf_s)], lo[(leaf_s, dst)]]]
+        leaf_d = self.leaf_sw[ld]
+        return [
+            [
+                lo[(src, leaf_s)], lo[(leaf_s, spine)],
+                lo[(spine, leaf_d)], lo[(leaf_d, dst)],
+            ]
+            for spine in self.spine_sw[:max_paths]
+        ]
+
+    def expected_counts(self) -> FabricCounts:
+        n_procs = len(self.host_loc)
+        multi_leaf = self.leaves > 1
+        return FabricCounts(
+            processors=n_procs,
+            switches=self.leaves + self.spines,
+            cables=n_procs + self.leaves * self.spines,
+            diameter=4 if multi_leaf else 2,
+            ecmp_width=self.spines if multi_leaf else 1,
+        )
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "leaves": self.leaves,
+            "spines": self.spines,
+            "hosts_per_leaf": self.hosts_per_leaf,
+            "hosts": len(self.host_loc),
+        }
+
+    def validate(self, net: NetworkTopology) -> None:
+        validate_topology(net)
+        _check_link_map(net, self.link_of)
+        counts = self.expected_counts()
+        if len(net.processors()) != counts.processors:
+            raise TopologyError(
+                f"leaf-spine has {len(net.processors())} processors, "
+                f"expected {counts.processors}"
+            )
+        if len(net.switches()) != counts.switches:
+            raise TopologyError(
+                f"leaf-spine has {len(net.switches())} switches, "
+                f"expected {counts.switches}"
+            )
+        if net.num_links != 2 * counts.cables:
+            raise TopologyError(
+                f"leaf-spine has {net.num_links} directed links, "
+                f"expected {2 * counts.cables}"
+            )
+        hosts_on_leaf: dict[int, int] = {}
+        for vid, (leaf, _) in self.host_loc.items():
+            if not net.vertex(vid).is_processor:
+                raise TopologyError(f"host {vid} is not a processor")
+            _check_degree(net, vid, 1, "leaf-spine host")
+            hosts_on_leaf[leaf] = hosts_on_leaf.get(leaf, 0) + 1
+        for i, leaf in enumerate(self.leaf_sw):
+            _check_degree(
+                net, leaf, hosts_on_leaf.get(i, 0) + self.spines,
+                f"leaf switch l{i}",
+            )
+        for i, spine in enumerate(self.spine_sw):
+            _check_degree(net, spine, self.leaves, f"spine switch s{i}")
+
+
+def leaf_spine(
+    leaves: int,
+    spines: int,
+    hosts_per_leaf: int,
+    *,
+    n_procs: int | None = None,
+    proc_speed: SpeedSpec = 1.0,
+    link_speed: SpeedSpec = 1.0,
+    spine_factor: float = 1.0,
+    rng: int | np.random.Generator | None = None,
+) -> NetworkTopology:
+    """Build a two-tier leaf-spine fabric.
+
+    ``spine_factor`` scales the leaf-spine uplink speed relative to the
+    host links (oversubscribed fabrics use > 1).  ``n_procs`` caps the
+    host count, filling leaves in order.
+    """
+    if leaves < 1 or spines < 1 or hosts_per_leaf < 1:
+        raise TopologyError(
+            f"leaf-spine needs leaves >= 1, spines >= 1, hosts_per_leaf >= 1; "
+            f"got ({leaves}, {spines}, {hosts_per_leaf})"
+        )
+    if spine_factor <= 0:
+        raise TopologyError(f"spine_factor must be positive, got {spine_factor}")
+    total = leaves * hosts_per_leaf
+    cap = total if n_procs is None else n_procs
+    if not 1 <= cap <= total:
+        raise TopologyError(
+            f"n_procs must be in [1, {total}] for {leaves} leaves x "
+            f"{hosts_per_leaf} hosts; got {n_procs}"
+        )
+    gen = as_rng(rng)
+    net = NetworkTopology(name=f"leaf_spine-{leaves}x{spines}-{cap}p")
+    pspeed = _speed_sampler(proc_speed, gen)
+    lspeed = _speed_sampler(link_speed, gen)
+
+    host_loc: dict[VertexId, tuple[int, int]] = {}
+    hosts: dict[int, list[Vertex]] = {}
+    remaining = cap
+    for leaf in range(leaves):
+        take = min(hosts_per_leaf, remaining)
+        remaining -= take
+        row = [net.add_processor(pspeed()) for _ in range(take)]
+        hosts[leaf] = row
+        for slot, p in enumerate(row):
+            host_loc[p.vid] = (leaf, slot)
+    leaf_sw = [net.add_switch(f"l{i}") for i in range(leaves)]
+    spine_sw = [net.add_switch(f"s{i}") for i in range(spines)]
+
+    link_of: LinkOf = {}
+    for leaf in range(leaves):
+        sw = leaf_sw[leaf]
+        for p in hosts[leaf]:
+            _cable(net, link_of, p, sw, lspeed())
+        for spine in spine_sw:
+            _cable(net, link_of, sw, spine, lspeed() * spine_factor)
+
+    plan = LeafSpinePlan(
+        leaves=leaves,
+        spines=spines,
+        hosts_per_leaf=hosts_per_leaf,
+        host_loc=host_loc,
+        leaf_sw=[sw.vid for sw in leaf_sw],
+        spine_sw=[sw.vid for sw in spine_sw],
+        link_of=link_of,
+    )
+    net.attach_router(HierarchicalRouter(net, plan))
+    return net
+
+
+# ---------------------------------------------------------------------------
+# 2D / 3D torus
+# ---------------------------------------------------------------------------
+
+
+def _wrap_distance(a: int, b: int, size: int) -> int:
+    d = abs(a - b)
+    return min(d, size - d)
+
+
+class TorusPlan:
+    """Structure of a wrap-around 2D/3D switch torus with attached hosts.
+
+    Each grid node is one switch with up to ``hosts_per_node`` processors.
+    The torus has no tree decomposition that pins down the flat-BFS
+    tie-break analytically, so :meth:`canonical_route` declines and the
+    router materializes routes through the exact shared BFS; the plan still
+    supplies closed-form invariants, dimension-ordered ECMP enumeration,
+    and per-slab (first coordinate) sharding.  Shard key = x-coordinate.
+    """
+
+    kind = "torus"
+
+    def __init__(
+        self,
+        dims: tuple[int, ...],
+        hosts_per_node: int,
+        host_loc: dict[VertexId, tuple[tuple[int, ...], int]],
+        node_sw: list[VertexId],
+        link_of: LinkOf,
+    ) -> None:
+        self.dims = dims
+        self.hosts_per_node = hosts_per_node
+        self.host_loc = host_loc
+        self.node_sw = node_sw
+        self.link_of = link_of
+
+    def _loc(self, vid: VertexId) -> tuple[tuple[int, ...], int]:
+        try:
+            return self.host_loc[vid]
+        except KeyError:
+            raise RoutingError(
+                f"vertex {vid} is not a torus host processor"
+            ) from None
+
+    def node_index(self, coords: tuple[int, ...]) -> int:
+        idx = 0
+        for size, c in zip(self.dims, coords):
+            idx = idx * size + c
+        return idx
+
+    def shard_of(self, vid: VertexId) -> int:
+        return self._loc(vid)[0][0]
+
+    def min_hops(self, src: VertexId, dst: VertexId) -> int:
+        """Closed-form canonical route length between two hosts."""
+        (cs, _), (cd, _) = self._loc(src), self._loc(dst)
+        if cs == cd:
+            return 2 if src != dst else 0
+        manhattan = sum(
+            _wrap_distance(a, b, size)
+            for a, b, size in zip(cs, cd, self.dims)
+        )
+        return manhattan + 2
+
+    def path_multiplicity(self, src: VertexId, dst: VertexId) -> int:
+        """Closed-form ECMP set size between two hosts.
+
+        Multinomial over the per-dimension step counts, doubled once per
+        dimension whose wrap distance ties both directions (even size >= 4,
+        offset exactly size/2 — on a size-2 dimension both "directions" are
+        the same physical cable, so no doubling).
+        """
+        (cs, _), (cd, _) = self._loc(src), self._loc(dst)
+        if cs == cd:
+            return 1
+        steps = [
+            _wrap_distance(a, b, size)
+            for a, b, size in zip(cs, cd, self.dims)
+        ]
+        ties = sum(
+            1
+            for a, b, size in zip(cs, cd, self.dims)
+            if size >= 4 and abs(a - b) * 2 == size
+        )
+        count = math.factorial(sum(steps))
+        for s in steps:
+            count //= math.factorial(s)
+        return count * (2 ** ties)
+
+    def canonical_route(
+        self, net: NetworkTopology, src: VertexId, dst: VertexId
+    ) -> Route | None:
+        return None  # defer to the exact shared BFS (see class docstring)
+
+    def equal_cost_routes(
+        self,
+        net: NetworkTopology,
+        src: VertexId,
+        dst: VertexId,
+        max_paths: int,
+    ) -> list[Route]:
+        return equal_cost_routes(net, src, dst, max_paths=max_paths)
+
+    def expected_counts(self) -> FabricCounts:
+        nodes = 1
+        for size in self.dims:
+            nodes *= size
+        cables = len(self.host_loc)
+        for size in self.dims:
+            lines = nodes // size
+            if size >= 3:
+                cables += lines * size
+            elif size == 2:
+                cables += lines
+        radius = [size // 2 for size in self.dims]
+        width = math.factorial(sum(radius))
+        for r in radius:
+            width //= math.factorial(r)
+        width *= 2 ** sum(1 for size in self.dims if size >= 4 and size % 2 == 0)
+        return FabricCounts(
+            processors=len(self.host_loc),
+            switches=nodes,
+            cables=cables,
+            diameter=sum(radius) + 2,
+            ecmp_width=width,
+        )
+
+    def describe(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "dims": list(self.dims),
+            "nodes": len(self.node_sw),
+            "hosts_per_node": self.hosts_per_node,
+            "hosts": len(self.host_loc),
+        }
+
+    def validate(self, net: NetworkTopology) -> None:
+        validate_topology(net)
+        _check_link_map(net, self.link_of)
+        counts = self.expected_counts()
+        if len(net.processors()) != counts.processors:
+            raise TopologyError(
+                f"torus has {len(net.processors())} processors, "
+                f"expected {counts.processors}"
+            )
+        if len(net.switches()) != counts.switches:
+            raise TopologyError(
+                f"torus has {len(net.switches())} switches, "
+                f"expected {counts.switches}"
+            )
+        if net.num_links != 2 * counts.cables:
+            raise TopologyError(
+                f"torus has {net.num_links} directed links, "
+                f"expected {2 * counts.cables}"
+            )
+        hosts_on_node: dict[int, int] = {}
+        for vid, (coords, _) in self.host_loc.items():
+            if not net.vertex(vid).is_processor:
+                raise TopologyError(f"host {vid} is not a processor")
+            _check_degree(net, vid, 1, "torus host")
+            idx = self.node_index(coords)
+            hosts_on_node[idx] = hosts_on_node.get(idx, 0) + 1
+        mesh_degree = sum(
+            2 if size >= 3 else (1 if size == 2 else 0) for size in self.dims
+        )
+        for idx, sw in enumerate(self.node_sw):
+            _check_degree(
+                net, sw, hosts_on_node.get(idx, 0) + mesh_degree,
+                f"torus switch n{idx}",
+            )
+
+
+def torus_fabric(
+    dims: tuple[int, ...],
+    *,
+    hosts_per_node: int = 1,
+    n_procs: int | None = None,
+    proc_speed: SpeedSpec = 1.0,
+    link_speed: SpeedSpec = 1.0,
+    rng: int | np.random.Generator | None = None,
+) -> NetworkTopology:
+    """Build a 2D or 3D wrap-around switch torus with attached hosts."""
+    if len(dims) not in (2, 3):
+        raise TopologyError(f"torus dims must be 2D or 3D, got {dims}")
+    if any(size < 1 for size in dims):
+        raise TopologyError(f"torus dims must be positive, got {dims}")
+    if hosts_per_node < 1:
+        raise TopologyError(f"hosts_per_node must be >= 1, got {hosts_per_node}")
+    nodes = 1
+    for size in dims:
+        nodes *= size
+    if nodes < 2:
+        raise TopologyError(f"torus needs at least 2 nodes, got dims {dims}")
+    total = nodes * hosts_per_node
+    cap = total if n_procs is None else n_procs
+    if not 1 <= cap <= total:
+        raise TopologyError(
+            f"n_procs must be in [1, {total}] for dims {dims}; got {n_procs}"
+        )
+    gen = as_rng(rng)
+    shape = "x".join(str(size) for size in dims)
+    net = NetworkTopology(name=f"torus-{shape}-{cap}p")
+    pspeed = _speed_sampler(proc_speed, gen)
+    lspeed = _speed_sampler(link_speed, gen)
+
+    def coords_iter() -> Iterator[tuple[int, ...]]:
+        if len(dims) == 2:
+            for x in range(dims[0]):
+                for y in range(dims[1]):
+                    yield (x, y)
+        else:
+            for x in range(dims[0]):
+                for y in range(dims[1]):
+                    for z in range(dims[2]):
+                        yield (x, y, z)
+
+    host_loc: dict[VertexId, tuple[tuple[int, ...], int]] = {}
+    hosts: dict[tuple[int, ...], list[Vertex]] = {}
+    remaining = cap
+    for coords in coords_iter():
+        take = min(hosts_per_node, remaining)
+        remaining -= take
+        row = [net.add_processor(pspeed()) for _ in range(take)]
+        hosts[coords] = row
+        for slot, p in enumerate(row):
+            host_loc[p.vid] = (coords, slot)
+    switches: dict[tuple[int, ...], Vertex] = {
+        coords: net.add_switch("n" + "-".join(str(c) for c in coords))
+        for coords in coords_iter()
+    }
+
+    link_of: LinkOf = {}
+    for coords in coords_iter():
+        sw = switches[coords]
+        for p in hosts[coords]:
+            _cable(net, link_of, p, sw, lspeed())
+        for d, size in enumerate(dims):
+            if size < 2:
+                continue
+            if coords[d] == size - 1 and size == 2:
+                continue  # the +1 neighbour wraps onto an existing cable
+            nbr = list(coords)
+            nbr[d] = (coords[d] + 1) % size
+            _cable(net, link_of, sw, switches[tuple(nbr)], lspeed())
+
+    plan = TorusPlan(
+        dims=tuple(dims),
+        hosts_per_node=hosts_per_node,
+        host_loc=host_loc,
+        node_sw=[switches[coords].vid for coords in coords_iter()],
+        link_of=link_of,
+    )
+    net.attach_router(HierarchicalRouter(net, plan))
+    return net
+
+
+# ---------------------------------------------------------------------------
+# registry + helpers
+# ---------------------------------------------------------------------------
+
+FABRIC_BUILDERS: dict[str, Callable[..., NetworkTopology]] = {
+    "fat_tree": kary_fat_tree,
+    "leaf_spine": leaf_spine,
+    "torus": torus_fabric,
+}
+
+
+def build_fabric(kind: str, /, *args: object, **kwargs: object) -> NetworkTopology:
+    """Dispatch to a registered fabric builder by name."""
+    try:
+        builder = FABRIC_BUILDERS[kind]
+    except KeyError:
+        raise TopologyError(
+            f"unknown fabric {kind!r}; known: {sorted(FABRIC_BUILDERS)}"
+        ) from None
+    return builder(*args, **kwargs)
+
+
+def fabric_plan(
+    net: NetworkTopology,
+) -> FatTreePlan | LeafSpinePlan | TorusPlan | None:
+    """The structural plan of a fabric-built topology, if one is attached."""
+    router = net.attached_router
+    if isinstance(router, HierarchicalRouter):
+        fabric = router.fabric
+        if isinstance(fabric, (FatTreePlan, LeafSpinePlan, TorusPlan)):
+            return fabric
+    return None
+
+
+def validate_fabric(net: NetworkTopology) -> None:
+    """Validate a fabric topology against its own structural plan.
+
+    Raises :class:`TopologyError` when no plan is attached (the topology
+    was mutated after construction, or never was a fabric) or when any
+    closed-form invariant — tier counts, cable counts, port/degree per
+    switch role, link-map consistency, connectivity — fails.
+    """
+    plan = fabric_plan(net)
+    if plan is None:
+        raise TopologyError(
+            f"topology {net.name!r} has no attached fabric plan "
+            "(not fabric-built, or mutated since construction)"
+        )
+    plan.validate(net)
+
+
+def fabric_for_procs(
+    kind: str,
+    n_procs: int,
+    rng: int | np.random.Generator | None = None,
+    *,
+    proc_speed: SpeedSpec = 1.0,
+    link_speed: SpeedSpec = 1.0,
+) -> NetworkTopology:
+    """Size a fabric deterministically for an exact processor count.
+
+    The paper sweeps ask for *P processors*, not fabric parameters; this
+    picks the smallest canonical instance reaching ``P`` and caps the host
+    fill at exactly ``P`` so sweep results stay comparable with the random
+    WAN baseline at the same processor count.
+    """
+    if n_procs < 1:
+        raise TopologyError(f"need at least one processor, got {n_procs}")
+    if kind == "fat_tree":
+        k = 2
+        while k * k * k // 4 < n_procs:
+            k += 2
+        return kary_fat_tree(
+            k, n_procs=n_procs, proc_speed=proc_speed, link_speed=link_speed,
+            rng=rng,
+        )
+    if kind == "leaf_spine":
+        hosts_per_leaf = 16
+        leaves = max(1, -(-n_procs // hosts_per_leaf))
+        spines = max(1, (leaves + 1) // 2)
+        return leaf_spine(
+            leaves, spines, hosts_per_leaf, n_procs=n_procs,
+            proc_speed=proc_speed, link_speed=link_speed, rng=rng,
+        )
+    if kind == "torus":
+        rows = max(1, math.isqrt(n_procs))
+        cols = max(1, -(-n_procs // rows))
+        if rows * cols < 2:
+            rows, cols = 1, 2  # a 1x2 torus is the smallest valid grid
+        return torus_fabric(
+            (rows, cols), n_procs=n_procs,
+            proc_speed=proc_speed, link_speed=link_speed, rng=rng,
+        )
+    raise TopologyError(
+        f"unknown fabric {kind!r}; known: {sorted(FABRIC_BUILDERS)}"
+    )
+
+
+# Register processor-count-sized wrappers so ``repro schedule --topology``
+# and the sweep configs can name fabrics exactly like the classic builders.
+def _register_sized(kind: str) -> None:
+    def sized(
+        n_procs: int,
+        proc_speed: SpeedSpec = 1.0,
+        link_speed: SpeedSpec = 1.0,
+        rng: int | np.random.Generator | None = None,
+    ) -> NetworkTopology:
+        return fabric_for_procs(
+            kind, n_procs, rng, proc_speed=proc_speed, link_speed=link_speed
+        )
+
+    sized.__name__ = f"{kind}_fabric_for_procs"
+    TOPOLOGY_BUILDERS[f"fabric_{kind}"] = sized
+
+
+for _kind in ("fat_tree", "leaf_spine", "torus"):
+    _register_sized(_kind)

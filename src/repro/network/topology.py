@@ -16,7 +16,7 @@ edge-scheduling engine books time slots on each of them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Literal, Sequence, TypeAlias
+from typing import Iterator, Literal, Protocol, Sequence, TypeAlias
 
 import networkx as nx
 
@@ -72,6 +72,27 @@ class Link:
 Route: TypeAlias = list[Link]
 
 
+class MinimalRouter(Protocol):
+    """A topology-attached minimal-routing provider.
+
+    Regular fabrics (see :mod:`repro.network.fabrics`) attach a
+    :class:`repro.network.routing.HierarchicalRouter` so
+    :func:`repro.network.routing.bfs_route` can serve routes from sharded,
+    lazily materialized per-pod tables instead of the flat
+    :meth:`NetworkTopology.route_table`.  The contract mirrors
+    ``bfs_route``: same endpoints-are-processors precondition, same
+    deterministic BFS tie-break, read-only returned routes.
+    """
+
+    def minimal_route(self, src: VertexId, dst: VertexId) -> Route:
+        """The canonical minimal route from processor ``src`` to ``dst``."""
+        ...
+
+    def materialized_entries(self) -> int:
+        """How many ``(src, dst)`` routes have been materialized so far."""
+        ...
+
+
 @dataclass
 class NetworkTopology:
     """Mutable-by-construction network graph; schedulers treat it as frozen."""
@@ -93,17 +114,32 @@ class NetworkTopology:
     _route_table: dict[tuple[VertexId, VertexId], Route] | None = field(
         default=None, repr=False
     )
+    #: optional fabric-aware router (see :class:`MinimalRouter`); detached —
+    #: not merely invalidated — by any mutation, because a structural change
+    #: voids the regularity assumptions the router's analytic paths rely on
+    _router: MinimalRouter | None = field(default=None, repr=False)
     _next_vid: int = 0
     _next_lid: int = 0
 
     # -- construction -------------------------------------------------------
 
+    def _invalidate_routing(self) -> None:
+        """Drop every route-derived cache after a topology mutation.
+
+        This is the single seam all mutators go through: the sorted
+        adjacency, the flat ``(src, dst)`` route table, *and* any attached
+        hierarchical router (whose sharded, lazily materialized tables would
+        otherwise keep serving routes for the pre-mutation structure).
+        """
+        self._sorted_adj = None
+        self._route_table = None
+        self._router = None
+
     def add_processor(self, speed: float = 1.0, name: str = "") -> Vertex:
         v = Vertex(self._next_vid, "processor", float(speed), name or f"P{self._next_vid}")
         self._vertices[v.vid] = v
         self._adj[v.vid] = []
-        self._sorted_adj = None
-        self._route_table = None
+        self._invalidate_routing()
         self._next_vid += 1
         return v
 
@@ -111,8 +147,7 @@ class NetworkTopology:
         v = Vertex(self._next_vid, "switch", 1.0, name or f"S{self._next_vid}")
         self._vertices[v.vid] = v
         self._adj[v.vid] = []
-        self._sorted_adj = None
-        self._route_table = None
+        self._invalidate_routing()
         self._next_vid += 1
         return v
 
@@ -142,8 +177,7 @@ class NetworkTopology:
         self._require_vertex(vid)
         if uid == vid:
             raise TopologyError(f"cannot connect vertex {uid} to itself")
-        self._sorted_adj = None
-        self._route_table = None
+        self._invalidate_routing()
         if duplex == "full":
             fwd = Link(self._next_lid, float(speed), uid, vid, "ptp", name=name or f"L{self._next_lid}")
             self._next_lid += 1
@@ -172,8 +206,7 @@ class NetworkTopology:
             raise TopologyError("bus member list contains duplicates")
         for vid in ids:
             self._require_vertex(vid)
-        self._sorted_adj = None
-        self._route_table = None
+        self._invalidate_routing()
         link = Link(
             self._next_lid, float(speed), ids[0], ids[1], "bus", members=ids,
             name=name or f"BUS{self._next_lid}",
@@ -255,6 +288,25 @@ class NetworkTopology:
             table = {}
             self._route_table = table
         return table
+
+    def attach_router(self, router: MinimalRouter) -> None:
+        """Install a fabric-aware minimal router (see :class:`MinimalRouter`).
+
+        :func:`repro.network.routing.bfs_route` prefers the attached router
+        over the flat route table.  Any subsequent topology mutation detaches
+        it again — the fabric's structural guarantees no longer hold.
+        """
+        self._router = router
+
+    def detach_router(self) -> MinimalRouter | None:
+        """Remove and return the attached router (flat routing resumes)."""
+        router = self._router
+        self._router = None
+        return router
+
+    @property
+    def attached_router(self) -> MinimalRouter | None:
+        return self._router
 
     def mean_link_speed(self) -> float:
         """The paper's ``MLS``: average transfer speed over all links."""

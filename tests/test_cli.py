@@ -327,3 +327,92 @@ class TestRunsCli:
         captured = capsys.readouterr()
         assert "OK: 1 algorithms within tolerance" in captured.out
         assert "fresh" not in captured.err
+
+
+class TestTopoCli:
+    """The ``repro topo build / info / validate`` fabric verbs."""
+
+    def test_build_emits_topology_json(self, capsys):
+        assert main(["topo", "build", "fat_tree", "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        import json
+
+        doc = json.loads(out)
+        assert doc["format"] == "repro.network/v1"
+        assert doc["name"] == "fat_tree-k4-16p"
+        kinds = [v["kind"] for v in doc["vertices"]]
+        assert kinds.count("processor") == 16
+        assert kinds.count("switch") == 20
+
+    def test_build_is_deterministic(self, capsys):
+        argv = ["topo", "build", "torus", "--dims", "3", "3"]
+        assert main(argv) == 0
+        first = capsys.readouterr().out
+        assert main(argv) == 0
+        assert capsys.readouterr().out == first
+
+    def test_build_writes_file(self, tmp_path, capsys):
+        out_path = tmp_path / "fabric.json"
+        assert main(["topo", "build", "leaf_spine", "--leaves", "2",
+                     "--spines", "2", "--hosts-per-leaf", "3",
+                     "-o", str(out_path)]) == 0
+        assert "wrote leaf_spine-2x2-6p" in capsys.readouterr().out
+        from repro.network.io import topology_from_json
+
+        net = topology_from_json(out_path.read_text())
+        assert len(net.processors()) == 6
+
+    def test_info_prints_closed_form_structure(self, capsys):
+        assert main(["topo", "info", "fat_tree", "--k", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "fabric:     fat_tree" in out
+        assert "processors: 16" in out
+        assert "switches:   20" in out
+        assert "diameter:   <= 6 hops" in out
+        assert "ecmp width: up to 4" in out
+
+    def test_info_sizes_fabric_from_procs(self, capsys):
+        assert main(["topo", "info", "leaf_spine", "--procs", "40"]) == 0
+        out = capsys.readouterr().out
+        assert "processors: 40" in out
+
+    def test_validate_ok(self, capsys):
+        assert main(["topo", "validate", "torus", "--dims", "2", "3",
+                     "--hosts-per-node", "2"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("OK: torus-2x3-12p valid")
+        assert "identical to flat BFS" in out
+
+    def test_validate_checks_file_round_trip(self, tmp_path, capsys):
+        out_path = tmp_path / "ls.json"
+        assert main(["topo", "build", "leaf_spine", "--procs", "10",
+                     "-o", str(out_path)]) == 0
+        capsys.readouterr()
+        assert main(["topo", "validate", "leaf_spine", "--procs", "10",
+                     "--file", str(out_path)]) == 0
+        assert "matches" in capsys.readouterr().out
+
+    def test_validate_flags_tampered_file(self, tmp_path, capsys):
+        out_path = tmp_path / "ls.json"
+        assert main(["topo", "build", "leaf_spine", "--procs", "10",
+                     "-o", str(out_path)]) == 0
+        capsys.readouterr()
+        out_path.write_text(out_path.read_text().replace('"speed": 1.0',
+                                                         '"speed": 2.0', 1))
+        assert main(["topo", "validate", "leaf_spine", "--procs", "10",
+                     "--file", str(out_path)]) == 1
+        assert "FAIL" in capsys.readouterr().out
+
+    def test_bad_parameters_exit_2(self, capsys):
+        assert main(["topo", "build", "fat_tree", "--k", "3"]) == 2
+        assert "even" in capsys.readouterr().err
+
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            main(["topo"])
+
+    def test_figures_accepts_fabric_topology(self, capsys):
+        assert main(["figures", "--scale", "smoke", "--only", "figure2",
+                     "--topology", "torus", "--no-cache", "--no-runlog",
+                     "--jobs", "2"]) == 0
+        assert "figure2" in capsys.readouterr().out

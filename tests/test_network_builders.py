@@ -155,7 +155,9 @@ class TestSpeedSpecs:
 
     def test_registry(self):
         assert "random_wan" in TOPOLOGY_BUILDERS
-        assert len(TOPOLOGY_BUILDERS) == 12
+        for kind in ("fat_tree", "leaf_spine", "torus"):
+            assert f"fabric_{kind}" in TOPOLOGY_BUILDERS
+        assert len(TOPOLOGY_BUILDERS) == 15
 
 
 class TestTorus3dAndDragonfly:

@@ -1,0 +1,320 @@
+"""Property-based invariants for the datacenter fabric generators.
+
+For Hypothesis-generated fat-tree / leaf-spine / torus instances:
+
+- every route the attached hierarchical router emits is a valid connected
+  path over links that exist in the topology;
+- ECMP path sets are truly equal-cost, duplicate-free, contain the
+  canonical route, and match the closed-form multiplicity;
+- path lengths match the fabric's closed form (2/4/6 hops in a fat-tree,
+  2/4 in a leaf-spine, wrap-Manhattan + 2 in a torus);
+- degree / port counts match the spec (via ``validate_fabric``);
+- generation is byte-identical across two calls with the same parameters.
+"""
+
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.exceptions import TopologyError
+from repro.linksched.causality import check_route_connectivity
+from repro.network.fabrics import (
+    FatTreePlan,
+    LeafSpinePlan,
+    TorusPlan,
+    fabric_for_procs,
+    fabric_plan,
+    kary_fat_tree,
+    leaf_spine,
+    torus_fabric,
+    validate_fabric,
+)
+from repro.network.io import topology_to_json
+from repro.network.routing import bfs_route, equal_cost_routes
+
+import pytest
+
+FABRIC = settings(
+    max_examples=40, deadline=None, suppress_health_check=[HealthCheck.too_slow]
+)
+
+# -- strategies --------------------------------------------------------------
+
+fat_tree_params = st.builds(
+    dict,
+    k=st.sampled_from([2, 4, 6]),
+    hosts_per_edge=st.integers(1, 3),
+    cap_frac=st.floats(0.1, 1.0),
+)
+
+leaf_spine_params = st.builds(
+    dict,
+    leaves=st.integers(1, 5),
+    spines=st.integers(1, 4),
+    hosts_per_leaf=st.integers(1, 4),
+    cap_frac=st.floats(0.1, 1.0),
+)
+
+torus_params = st.builds(
+    dict,
+    dims=st.one_of(
+        st.tuples(st.integers(2, 4), st.integers(2, 4)),
+        st.tuples(st.integers(2, 3), st.integers(2, 3), st.integers(2, 3)),
+    ),
+    hosts_per_node=st.integers(1, 2),
+    cap_frac=st.floats(0.1, 1.0),
+)
+
+
+def _cap(total: int, frac: float) -> int:
+    return max(1, min(total, round(total * frac)))
+
+
+def _build_fat_tree(params):
+    total = params["k"] * (params["k"] // 2) * params["hosts_per_edge"]
+    return kary_fat_tree(
+        params["k"],
+        hosts_per_edge=params["hosts_per_edge"],
+        n_procs=_cap(total, params["cap_frac"]),
+    )
+
+
+def _build_leaf_spine(params):
+    total = params["leaves"] * params["hosts_per_leaf"]
+    return leaf_spine(
+        params["leaves"],
+        params["spines"],
+        params["hosts_per_leaf"],
+        n_procs=_cap(total, params["cap_frac"]),
+    )
+
+
+def _build_torus(params):
+    nodes = 1
+    for size in params["dims"]:
+        nodes *= size
+    total = nodes * params["hosts_per_node"]
+    return torus_fabric(
+        params["dims"],
+        hosts_per_node=params["hosts_per_node"],
+        n_procs=_cap(total, params["cap_frac"]),
+    )
+
+
+def _pairs(net, limit=60):
+    """A deterministic sample of distinct processor pairs."""
+    procs = [p.vid for p in net.processors()]
+    pairs = [(s, d) for s in procs for d in procs if s != d]
+    step = max(1, len(pairs) // limit)
+    return pairs[::step]
+
+
+def _check_fabric(net, expected_hops):
+    """The shared invariant bundle: structure, routes, ECMP sets."""
+    validate_fabric(net)
+    plan = fabric_plan(net)
+    router = net.attached_router
+    for s, d in _pairs(net):
+        route = bfs_route(net, s, d)
+        # Valid connected path over links registered in the topology.
+        check_route_connectivity(net, tuple(l.lid for l in route), s, d)
+        for link in route:
+            assert net.link(link.lid) is link
+        assert len(route) == expected_hops(plan, s, d)
+        # ECMP set: equal-cost, duplicate-free, canonical route included,
+        # closed-form multiplicity (cap chosen to never truncate here).
+        ecmp = router.ecmp_routes(s, d, max_paths=4096)
+        assert all(len(r) == len(route) for r in ecmp)
+        ids = [tuple(l.lid for l in r) for r in ecmp]
+        assert len(set(ids)) == len(ids)
+        assert tuple(l.lid for l in route) in ids
+        for r in ecmp:
+            check_route_connectivity(net, tuple(l.lid for l in r), s, d)
+        if isinstance(plan, TorusPlan):
+            assert len(ecmp) == plan.path_multiplicity(s, d)
+    stats = router.stats()
+    assert stats["materialized_entries"] <= stats["cross_product_entries"]
+    assert stats["shards"] >= 1 or len(net.processors()) < 2
+
+
+def _fat_tree_hops(plan, s, d):
+    ps, es, _ = plan.host_loc[s]
+    pd, ed, _ = plan.host_loc[d]
+    if (ps, es) == (pd, ed):
+        return 2
+    return 4 if ps == pd else 6
+
+
+def _leaf_spine_hops(plan, s, d):
+    return 2 if plan.host_loc[s][0] == plan.host_loc[d][0] else 4
+
+
+class TestFatTreeProperties:
+    @FABRIC
+    @given(params=fat_tree_params)
+    def test_invariants(self, params):
+        net = _build_fat_tree(params)
+        plan = fabric_plan(net)
+        assert isinstance(plan, FatTreePlan)
+        _check_fabric(net, _fat_tree_hops)
+        counts = plan.expected_counts()
+        assert counts.diameter == 6
+        assert counts.ecmp_width == (params["k"] // 2) ** 2
+
+    @FABRIC
+    @given(params=fat_tree_params)
+    def test_byte_identical_generation(self, params):
+        assert topology_to_json(_build_fat_tree(params)) == topology_to_json(
+            _build_fat_tree(params)
+        )
+
+    def test_ecmp_set_matches_core_count(self):
+        net = kary_fat_tree(4)
+        plan = fabric_plan(net)
+        procs = [p.vid for p in net.processors()]
+        # First host of pod 0 to first host of pod 1: one path per core.
+        s = next(p for p in procs if plan.host_loc[p][0] == 0)
+        d = next(p for p in procs if plan.host_loc[p][0] == 1)
+        ecmp = net.attached_router.ecmp_routes(s, d)
+        assert len(ecmp) == 4  # (k/2)^2 cores
+        # Intra-pod, cross-edge: one path per aggregation switch.
+        d2 = next(
+            p
+            for p in procs
+            if plan.host_loc[p][0] == 0 and plan.host_loc[p][1] == 1
+        )
+        assert len(net.attached_router.ecmp_routes(s, d2)) == 2
+
+    def test_port_counts(self):
+        net = kary_fat_tree(4)
+        plan = fabric_plan(net)
+        k = 4
+        for row in plan.edge_sw:
+            for sw in row:
+                assert len(net.out_links(sw)) == k  # k/2 hosts + k/2 aggs
+        for row in plan.agg_sw:
+            for sw in row:
+                assert len(net.out_links(sw)) == k  # k/2 edges + k/2 cores
+        for sw in plan.core_sw:
+            assert len(net.out_links(sw)) == k  # one per pod... times k
+
+
+class TestLeafSpineProperties:
+    @FABRIC
+    @given(params=leaf_spine_params)
+    def test_invariants(self, params):
+        net = _build_leaf_spine(params)
+        plan = fabric_plan(net)
+        assert isinstance(plan, LeafSpinePlan)
+        _check_fabric(net, _leaf_spine_hops)
+
+    @FABRIC
+    @given(params=leaf_spine_params)
+    def test_byte_identical_generation(self, params):
+        assert topology_to_json(_build_leaf_spine(params)) == topology_to_json(
+            _build_leaf_spine(params)
+        )
+
+    def test_cross_leaf_ecmp_one_route_per_spine(self):
+        net = leaf_spine(3, 4, 2)
+        plan = fabric_plan(net)
+        procs = [p.vid for p in net.processors()]
+        s = next(p for p in procs if plan.host_loc[p][0] == 0)
+        d = next(p for p in procs if plan.host_loc[p][0] == 2)
+        ecmp = net.attached_router.ecmp_routes(s, d)
+        assert len(ecmp) == 4
+        # Routes are ordered by spine index: middle hop climbs spine 0, 1, ...
+        spine_hops = [r[1].dst for r in ecmp]
+        assert spine_hops == plan.spine_sw
+
+    def test_port_counts(self):
+        net = leaf_spine(3, 2, 4)
+        plan = fabric_plan(net)
+        for sw in plan.leaf_sw:
+            assert len(net.out_links(sw)) == 4 + 2
+        for sw in plan.spine_sw:
+            assert len(net.out_links(sw)) == 3
+
+
+class TestTorusProperties:
+    @FABRIC
+    @given(params=torus_params)
+    def test_invariants(self, params):
+        net = _build_torus(params)
+        plan = fabric_plan(net)
+        assert isinstance(plan, TorusPlan)
+        _check_fabric(net, lambda p, s, d: p.min_hops(s, d))
+
+    @FABRIC
+    @given(params=torus_params)
+    def test_byte_identical_generation(self, params):
+        assert topology_to_json(_build_torus(params)) == topology_to_json(
+            _build_torus(params)
+        )
+
+    def test_wrap_links_present(self):
+        net = torus_fabric((4, 3))
+        plan = fabric_plan(net)
+        # (0, y) and (3, y) are wrap neighbours: 1 switch hop, 3 total.
+        procs = [p.vid for p in net.processors()]
+        s = next(p for p in procs if plan.host_loc[p][0] == (0, 0))
+        d = next(p for p in procs if plan.host_loc[p][0] == (3, 0))
+        assert len(bfs_route(net, s, d)) == 3
+        assert plan.min_hops(s, d) == 3
+
+    def test_size_two_dim_has_single_cable(self):
+        # Both "directions" around a size-2 ring are the same cable: the
+        # ECMP multiplicity must not double.
+        net = torus_fabric((2, 3))
+        plan = fabric_plan(net)
+        procs = [p.vid for p in net.processors()]
+        s = next(p for p in procs if plan.host_loc[p][0] == (0, 0))
+        d = next(p for p in procs if plan.host_loc[p][0] == (1, 0))
+        assert plan.path_multiplicity(s, d) == 1
+        assert len(equal_cost_routes(net, s, d)) == 1
+
+
+class TestSizedFabrics:
+    @FABRIC
+    @given(
+        kind=st.sampled_from(["fat_tree", "leaf_spine", "torus"]),
+        n_procs=st.integers(1, 70),
+    )
+    def test_exact_processor_count(self, kind, n_procs):
+        net = fabric_for_procs(kind, n_procs)
+        assert len(net.processors()) == n_procs
+        validate_fabric(net)
+
+    def test_registered_in_topology_builders(self):
+        from repro.network.builders import TOPOLOGY_BUILDERS
+
+        for kind in ("fat_tree", "leaf_spine", "torus"):
+            builder = TOPOLOGY_BUILDERS[f"fabric_{kind}"]
+            net = builder(9, rng=3)
+            assert len(net.processors()) == 9
+            assert net.attached_router is not None
+
+
+class TestParameterValidation:
+    def test_fat_tree_rejects_odd_arity(self):
+        with pytest.raises(TopologyError):
+            kary_fat_tree(3)
+
+    def test_fat_tree_rejects_oversized_cap(self):
+        with pytest.raises(TopologyError):
+            kary_fat_tree(4, n_procs=17)
+
+    def test_leaf_spine_rejects_empty_tiers(self):
+        with pytest.raises(TopologyError):
+            leaf_spine(0, 2, 4)
+
+    def test_torus_rejects_one_dimension(self):
+        with pytest.raises(TopologyError):
+            torus_fabric((8,))
+
+    def test_torus_rejects_single_node(self):
+        with pytest.raises(TopologyError):
+            torus_fabric((1, 1))
+
+    def test_heterogeneous_speeds_are_seed_deterministic(self):
+        a = leaf_spine(2, 2, 3, proc_speed=(1, 10), link_speed=(1, 10), rng=7)
+        b = leaf_spine(2, 2, 3, proc_speed=(1, 10), link_speed=(1, 10), rng=7)
+        assert topology_to_json(a) == topology_to_json(b)

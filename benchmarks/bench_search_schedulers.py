@@ -1,18 +1,25 @@
-"""Search-scheduler cost: incremental evaluation vs full re-simulation.
+"""Search-scheduler cost: array-batched vs object-incremental vs full.
 
 ``bench_scheduler_cost`` times every algorithm once; this module zooms in on
 the two mapping-search schedulers (simulated annealing, genetic search),
-whose candidate streams are exactly what the incremental evaluator
-(:mod:`repro.core.incremental`) accelerates.  Each scheduler is timed twice
-on a fixed workload — ``incremental=True`` (the default) and
-``incremental=False`` (one full ``simulate_mapping`` per candidate) — and
-the two runs must produce **bit-identical makespans**: the speedup is never
-allowed to buy a different schedule.
+whose candidate streams are exactly what the prefix-reusing evaluators
+accelerate.  Each scheduler is timed three times on a fixed workload:
+
+- ``array`` (the headline, scheduler default): the batched array-native
+  kernel of :mod:`repro.core.batch` on flat columns,
+- ``object``: the :mod:`repro.core.incremental` evaluator on the object
+  substrate (the PR 5 hot path, kept as a secondary series),
+- ``full``: one complete ``simulate_mapping`` per candidate (the naive
+  reference).
+
+All three runs must produce **bit-identical makespans**: the speedup is
+never allowed to buy a different schedule.
 
 As in ``bench_scheduler_cost``, the timed benchmark runs with observability
 disabled, and a separate instrumented pass collects the decision counters —
-including the new ``mapping.prefix_hits`` / ``mapping.suffix_tasks_resimulated``
-/ ``routing.table_hits`` — from which prefix/route-table hit rates are
+``mapping.prefix_hits`` / ``mapping.suffix_tasks_resimulated`` /
+``mapping.batch_evaluations`` / ``mapping.identical_skips`` /
+``routing.table_hits`` — from which prefix/route-table hit rates are
 derived.  The session writes ``BENCH_search_schedulers.json`` to the working
 directory; CI compares it against the committed baseline with
 ``benchmarks/compare_scheduler_cost.py`` (the report shares its layout), so
@@ -33,6 +40,13 @@ from repro.experiments.workloads import paper_workload
 
 ALGOS = ("annealing", "genetic")
 
+#: evaluation mode -> scheduler kwargs
+MODES = {
+    "array": {"incremental": True, "backend": "array"},
+    "object": {"incremental": True, "backend": "object"},
+    "full": {"incremental": False},
+}
+
 _report: dict[str, dict] = {}
 
 
@@ -45,13 +59,13 @@ def workload():
     return paper_workload(config, ccr=2.0, n_procs=8, rng=777)
 
 
-def _instrumented_run(algo: str, graph, net, *, incremental: bool) -> dict:
+def _instrumented_run(algo: str, graph, net, mode: str) -> dict:
     """One instrumented schedule() call: wall time + decision counters."""
     obs.enable(obs.NullSink())
     obs.reset()
     try:
         t0 = perf_counter()
-        schedule = SCHEDULERS[algo](incremental=incremental).schedule(graph, net)
+        schedule = SCHEDULERS[algo](**MODES[mode]).schedule(graph, net)
         wall = perf_counter() - t0
         assert schedule.makespan > 0
         counters = obs.METRICS.snapshot()["counters"]
@@ -66,6 +80,7 @@ def _hit_rates(counters: dict) -> dict:
     hits = counters.get("mapping.prefix_hits", 0)
     table_hits = counters.get("routing.table_hits", 0)
     bfs = counters.get("routing.bfs_routes", 0)
+    batches = counters.get("mapping.batch_evaluations", 0)
     return {
         "prefix_hit_rate": hits / evals if evals else 0.0,
         "mean_suffix_tasks": (
@@ -76,30 +91,34 @@ def _hit_rates(counters: dict) -> dict:
         "route_table_hit_rate": (
             table_hits / (table_hits + bfs) if table_hits + bfs else 0.0
         ),
+        "mean_batch_size": (
+            counters.get("mapping.batch_candidates", 0) / batches if batches else 0.0
+        ),
+        "identical_skips": counters.get("mapping.identical_skips", 0),
     }
 
 
 @pytest.mark.parametrize("algo", ALGOS)
-@pytest.mark.parametrize("incremental", [True, False], ids=["incremental", "full"])
-def test_search_scheduler_runtime(benchmark, workload, algo, incremental):
+@pytest.mark.parametrize("mode", list(MODES), ids=list(MODES))
+def test_search_scheduler_runtime(benchmark, workload, algo, mode):
     scheduler_cls = SCHEDULERS[algo]
+    kwargs = MODES[mode]
     result = benchmark(
-        lambda: scheduler_cls(incremental=incremental).schedule(
-            workload.graph, workload.net
-        )
+        lambda: scheduler_cls(**kwargs).schedule(workload.graph, workload.net)
     )
     assert result.makespan > 0
-    run = _instrumented_run(
-        algo, workload.graph, workload.net, incremental=incremental
-    )
+    run = _instrumented_run(algo, workload.graph, workload.net, mode)
     entry = _report.setdefault(algo, {})
-    if incremental:
-        # The whole point of the incremental evaluator: after the first
-        # candidate, evaluations reuse a simulated prefix.
+    if mode == "array":
+        # The headline series: after the first candidate, evaluations reuse
+        # a simulated prefix, and the genetic search scores whole
+        # generations as batches.
         assert run["counters"].get("mapping.prefix_hits", 0) > 0
-        entry.update({**run, **_hit_rates(run["counters"])})
+        if algo == "genetic":
+            assert run["counters"].get("mapping.batch_evaluations", 0) > 0
+        entry.update({**run, "backend": "array", **_hit_rates(run["counters"])})
     else:
-        entry["full"] = {"wall_s": run["wall_s"], "makespan": run["makespan"]}
+        entry[mode] = {"wall_s": run["wall_s"], "makespan": run["makespan"]}
 
 
 def makespan_checksum(report: dict[str, dict]) -> str:
@@ -113,17 +132,23 @@ def makespan_checksum(report: dict[str, dict]) -> str:
 
 def _finalize(report: dict[str, dict]) -> dict:
     for algo, entry in report.items():
-        full = entry.get("full")
-        if full is not None:
-            # Bit-identity between the two evaluation paths is the bench's
+        for mode in ("object", "full"):
+            other = entry.get(mode)
+            if other is None:
+                continue
+            # Bit-identity across the three evaluation paths is the bench's
             # core claim: fail loudly, don't just record drift.
-            assert full["makespan"] == entry["makespan"], (
-                f"{algo}: incremental makespan {entry['makespan']!r} != "
-                f"full {full['makespan']!r}"
+            assert other["makespan"] == entry["makespan"], (
+                f"{algo}: array makespan {entry['makespan']!r} != "
+                f"{mode} {other['makespan']!r}"
             )
-            entry["incremental_speedup"] = (
-                full["wall_s"] / entry["wall_s"] if entry["wall_s"] else 0.0
+            entry[f"speedup_vs_{mode}"] = (
+                other["wall_s"] / entry["wall_s"] if entry["wall_s"] else 0.0
             )
+        # Kept under its historical name: the full-path cost of the default
+        # evaluator, whatever backend that default is.
+        if "speedup_vs_full" in entry:
+            entry["incremental_speedup"] = entry["speedup_vs_full"]
     return {
         "algorithms": report,
         "makespan_checksum": makespan_checksum(report),

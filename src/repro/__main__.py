@@ -149,12 +149,29 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         sink = obs.JsonlSink(args.trace_out) if args.trace_out else obs.ListSink()
         obs.enable(sink)
     kwargs = {}
+    is_search = args.algorithm in ("annealing", "genetic")
     if args.no_incremental:
-        if args.algorithm not in ("annealing", "genetic"):
+        if not is_search:
             print("--no-incremental only applies to the mapping-search "
                   "schedulers (annealing, genetic)")
             return 2
         kwargs["incremental"] = False
+    if args.backend is not None:
+        if not is_search:
+            print("--backend only applies to the mapping-search "
+                  "schedulers (annealing, genetic)")
+            return 2
+        if args.no_incremental:
+            print("--no-incremental runs the full re-simulation path; "
+                  "--backend does not apply")
+            return 2
+        kwargs["backend"] = args.backend
+    # What actually scores candidates, for --stats / the run ledger.
+    backend_used = None
+    if is_search:
+        backend_used = (
+            "full" if args.no_incremental else (args.backend or "array")
+        )
     t0 = perf_counter()
     try:
         schedule = SCHEDULERS[args.algorithm](**kwargs).schedule(graph, net)
@@ -168,6 +185,14 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
         # Ledger-only instrumentation: keep stdout identical to a plain run.
         schedule.stats = None
     print(schedule_report(schedule, gantt=not args.no_gantt))
+    if want_stats and backend_used is not None:
+        line = f"evaluation backend: {backend_used}"
+        if stats is not None:
+            batches = stats.counter("mapping.batch_evaluations")
+            if batches:
+                mean = stats.counter("mapping.batch_candidates") / batches
+                line += f" (batches: {int(batches)}, mean batch size: {mean:.1f})"
+        print(line)
     if args.trace_out:
         print(f"\nwrote decision-event log to {args.trace_out}")
     if not args.no_runlog:
@@ -178,6 +203,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
             fingerprint_doc={
                 **_workload_fingerprint_doc(args, "schedule"),
                 "incremental": not args.no_incremental,
+                "backend": backend_used,
             },
             argv=getattr(args, "_argv", []),
             makespans={args.algorithm: schedule.makespan},
@@ -584,6 +610,10 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     phases = ("routing", "insertion", "processor_selection", "task_placement")
     rows = []
     for name in args.algorithms:
+        scheduler = SCHEDULERS[name]()
+        # The mapping searches score candidates through a pluggable
+        # evaluation backend; report it so profile rows are attributable.
+        backend = getattr(scheduler, "backend", None) or "-"
         obs.enable(obs.NullSink())
         obs.reset()
         t0 = perf_counter()
@@ -596,8 +626,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             obs.disable()
         timed = {p: stats.timings.get(p, {"total": 0.0})["total"] for p in phases}
         other = wall / args.repeat - sum(timed.values())
+        batches = stats.counter("mapping.batch_evaluations")
+        if batches:
+            mean = stats.counter("mapping.batch_candidates") / batches
+            backend += f" (batch {mean:.0f})"
         rows.append(
-            [name, f"{wall / args.repeat * 1e3:.2f}"]
+            [name, backend, f"{wall / args.repeat * 1e3:.2f}"]
             + [f"{timed[p] * 1e3:.2f}" for p in phases]
             + [f"{max(0.0, other) * 1e3:.2f}"]
         )
@@ -609,8 +643,8 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     print()
     print(
         format_table(
-            ["algorithm", "wall ms", "routing", "insertion", "proc-select",
-             "task-place", "other"],
+            ["algorithm", "backend", "wall ms", "routing", "insertion",
+             "proc-select", "task-place", "other"],
             rows,
         )
     )
@@ -745,6 +779,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="evaluate every mapping-search candidate with a full "
         "re-simulation instead of the incremental prefix-reusing evaluator "
         "(annealing/genetic only; results are bit-identical either way)",
+    )
+    p.add_argument(
+        "--backend", choices=("object", "array"), default=None,
+        help="candidate-evaluation backend for the mapping-search "
+        "schedulers: 'array' (default) scores on flat columns and batches, "
+        "'object' uses the per-slot object substrate (annealing/genetic "
+        "only; results are bit-identical either way)",
     )
     _add_runlog_arguments(p)
     p.set_defaults(fn=_cmd_schedule)

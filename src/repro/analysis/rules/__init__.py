@@ -2,6 +2,8 @@
 
 Rule families (ids are ``FAMILY###``):
 
+- ``ARR`` — array discipline: no per-element Python loops over the batch
+  kernel's flat column arrays,
 - ``DET`` — determinism: no unordered iteration, unseeded RNGs, or
   wall-clock reads where schedule bytes are decided,
 - ``FLT`` — float discipline: no exact ``==``/``!=`` on float expressions
@@ -16,6 +18,7 @@ to add a new one.
 from __future__ import annotations
 
 from repro.analysis.rules import (  # noqa: F401  (import registers the rules)
+    arrays,
     determinism,
     floats,
     obsguard,
@@ -24,6 +27,7 @@ from repro.analysis.rules import (  # noqa: F401  (import registers the rules)
 
 #: Family prefix -> human name, for ``repro lint --list-rules`` grouping.
 FAMILIES: dict[str, str] = {
+    "ARR": "array discipline",
     "DET": "determinism",
     "FLT": "float discipline",
     "OBS": "observability guards",

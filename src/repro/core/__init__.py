@@ -31,6 +31,7 @@ from repro.core.explain import (
     utilization_timelines,
 )
 from repro.core.annealing import AnnealingScheduler
+from repro.core.batch import BatchMappingEvaluator
 from repro.core.eventsim import resimulate, SimReport
 from repro.core.genetic import GeneticScheduler
 from repro.core.cpop import CPOPScheduler
@@ -76,6 +77,7 @@ __all__ = [
     "GeneticScheduler",
     "PacketBAScheduler",
     "IncrementalMappingEvaluator",
+    "BatchMappingEvaluator",
     "simulate_mapping",
     "resimulate",
     "SimReport",

@@ -20,6 +20,7 @@ from typing import Callable
 import numpy as np
 
 from repro.core.ba import BAScheduler
+from repro.core.batch import BatchMappingEvaluator
 from repro.core.incremental import IncrementalMappingEvaluator
 from repro.core.mapping import simulate_mapping
 from repro.core.schedule import Schedule
@@ -27,6 +28,7 @@ from repro.exceptions import SchedulingError
 from repro.linksched.commmodel import CUT_THROUGH, CommModel
 from repro.network.topology import NetworkTopology
 from repro.network.validate import validate_topology
+from repro.obs import OBS, ScheduleStats, diff_snapshots, diff_timings
 from repro.taskgraph.graph import TaskGraph
 from repro.taskgraph.validate import validate_graph
 from repro.utils.rng import as_rng
@@ -47,11 +49,17 @@ class AnnealingScheduler:
     seed_with_ba:
         Start from BA's mapping (default) instead of a random one.
     incremental:
-        Evaluate candidates with the prefix-reusing
-        :class:`~repro.core.incremental.IncrementalMappingEvaluator`
-        (default) instead of a full ``simulate_mapping`` per candidate.
-        Results are bit-identical either way; ``False`` keeps the naive
-        evaluator reachable as the differential reference.
+        Evaluate candidates with a prefix-reusing evaluator (default)
+        instead of a full ``simulate_mapping`` per candidate.  Results are
+        bit-identical either way; ``False`` keeps the naive evaluator
+        reachable as the differential reference (and ignores ``backend``).
+    backend:
+        Which prefix-reusing evaluator scores candidates: ``"array"``
+        (default) for the flat-column
+        :class:`~repro.core.batch.BatchMappingEvaluator`, ``"object"`` for
+        the :class:`~repro.core.incremental.IncrementalMappingEvaluator` on
+        the object substrate.  Makespans and schedules are bit-identical
+        across backends (``tests/test_batch_equivalence.py``).
     """
 
     name = "annealing"
@@ -66,11 +74,16 @@ class AnnealingScheduler:
         comm: CommModel = CUT_THROUGH,
         rng: int | np.random.Generator | None = 0,
         incremental: bool = True,
+        backend: str = "array",
     ) -> None:
         if iterations < 1:
             raise SchedulingError(f"need at least one iteration, got {iterations}")
         if not 0 < cooling <= 1:
             raise SchedulingError(f"cooling must be in (0, 1], got {cooling}")
+        if backend not in ("object", "array"):
+            raise SchedulingError(
+                f"unknown evaluation backend {backend!r}; choose 'object' or 'array'"
+            )
         self.iterations = iterations
         self.start_temp_factor = start_temp_factor
         self.cooling = cooling
@@ -78,10 +91,16 @@ class AnnealingScheduler:
         self.comm = comm
         self.rng = rng
         self.incremental = incremental
+        self.backend = backend
 
     def schedule(self, graph: TaskGraph, net: NetworkTopology) -> Schedule:
         validate_graph(graph)
         validate_topology(net)
+        observing = OBS.on
+        if observing:
+            metrics_before = OBS.metrics.snapshot()
+            timings_before = OBS.profiler.snapshot()
+            event_mark = OBS.bus.mark()
         gen = as_rng(self.rng)
         procs = [p.vid for p in net.processors()]
         tasks = [t.tid for t in graph.tasks()]
@@ -94,12 +113,17 @@ class AnnealingScheduler:
         else:
             mapping = {tid: int(gen.choice(procs)) for tid in tasks}
 
-        evaluator: IncrementalMappingEvaluator | None = None
+        evaluator: IncrementalMappingEvaluator | BatchMappingEvaluator | None = None
         evaluate: Callable[[dict[int, int]], float]
         if self.incremental:
-            evaluator = IncrementalMappingEvaluator(
-                graph, net, comm=self.comm, algorithm=self.name
-            )
+            if self.backend == "array":
+                evaluator = BatchMappingEvaluator(
+                    graph, net, comm=self.comm, algorithm=self.name
+                )
+            else:
+                evaluator = IncrementalMappingEvaluator(
+                    graph, net, comm=self.comm, algorithm=self.name
+                )
             evaluate = evaluator.evaluate
         else:
 
@@ -133,7 +157,17 @@ class AnnealingScheduler:
             temp *= self.cooling
 
         if evaluator is not None:
-            return evaluator.schedule(best_mapping)
-        return simulate_mapping(
-            graph, net, best_mapping, comm=self.comm, algorithm=self.name
-        )
+            result = evaluator.schedule(best_mapping)
+        else:
+            result = simulate_mapping(
+                graph, net, best_mapping, comm=self.comm, algorithm=self.name
+            )
+        if observing:
+            # Same capture ContentionScheduler attaches: what this whole
+            # search did, including every candidate evaluation.
+            result.stats = ScheduleStats(
+                metrics=diff_snapshots(metrics_before, OBS.metrics.snapshot()),
+                timings=diff_timings(timings_before, OBS.profiler.snapshot()),
+                events=OBS.bus.since(event_mark),
+            )
+        return result

@@ -1,0 +1,388 @@
+"""Batched array-native candidate evaluation for the mapping searches.
+
+:class:`~repro.core.incremental.IncrementalMappingEvaluator` (the *object*
+backend) made candidate scoring incremental: rewind to the divergence point,
+re-simulate the suffix.  Profiling the annealing/genetic benchmarks after
+that change showed the remaining time going not to the *amount* of work but
+to its *representation*: every booking still built a ``TimeSlot``, updated a
+``by_edge`` dict, bumped a version counter and appended a tagged undo tuple
+— machinery the score-only pass never reads.
+
+:class:`BatchMappingEvaluator` (the *array* backend) re-hosts the same
+suffix re-simulation on the flat column store of
+:mod:`repro.linksched.arraystate`:
+
+- Tasks are **dense order positions**, processors dense indices; a candidate
+  is a flat ``list[int]`` (``cand[pos] = processor index``), so the
+  candidate itself is the placement lookup table — no per-candidate dicts.
+- ``weight / speed`` divisions are precomputed per (position, processor)
+  into one flat row-major table; in-edges are ``(source position, cost)``
+  pairs fixed at construction.
+- Routes resolve once per processor pair into a **route plan**: the per-link
+  ``(starts, finishes, speed)`` column triples, so the inner loop touches no
+  topology objects.
+- A booking is the object path's gap-search arithmetic verbatim (the
+  bit-identity contract) followed by two ``list.insert`` calls and a journal
+  append; a rewind pops journal entries.
+
+**Batch semantics.**  :meth:`evaluate_batch` scores N candidates as one
+batch forking from a shared prefix checkpoint — the generalization of the
+object backend's 1-candidate divergence rewind.  Because every candidate's
+score is a pure function of its mapping (simulation state is rewound, never
+leaked between candidates), the batch may be evaluated in any order;
+evaluating in **lexicographic dense-genome order** maximizes consecutive
+shared prefixes (it is a depth-first walk of the candidates' prefix trie),
+and results are returned in the caller's order.  A score cache keyed by the
+dense genome short-circuits repeats (a genetic elite re-scored every
+generation, an annealing move retried), counted as
+``mapping.identical_skips``.
+
+Counters (all under ``OBS.on``, accumulated per candidate — the array
+backend pays no per-booking instrumentation): ``mapping.evaluations``,
+``mapping.prefix_hits``, ``mapping.suffix_tasks_resimulated`` (shared with
+the object backend), plus ``mapping.shared_prefix_tasks`` (order positions
+reused from the checkpoint), ``mapping.batch_evaluations`` /
+``mapping.batch_candidates`` (batch count and total size) and
+``mapping.identical_skips``.
+
+Scoring is bit-identical to ``simulate_mapping`` — same divisions, same gap
+arithmetic, same ``max`` reductions — proven slot-by-slot by
+``tests/test_batch_equivalence.py``.  Materializing a full
+:class:`~repro.core.schedule.Schedule` (:meth:`BatchMappingEvaluator.schedule`)
+delegates to the object path: the columns carry no edge identities or
+routes, and the winner is scheduled once per search.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Mapping, Sequence
+
+from repro.core.mapping import simulate_mapping
+from repro.core.schedule import Schedule
+from repro.exceptions import SchedulingError
+from repro.linksched.arraystate import ArrayLinkState, ArrayProcState
+from repro.linksched.commmodel import CUT_THROUGH, CommModel
+from repro.network.routing import bfs_route
+from repro.network.topology import NetworkTopology
+from repro.obs import OBS
+from repro.taskgraph.graph import TaskGraph
+from repro.taskgraph.priorities import priority_list
+from repro.types import TaskId, VertexId
+
+#: One route link's scoring view: its two booking columns plus speed.
+_LinkPlan = tuple[list[float], list[float], float]
+
+#: Score-cache keys: packed bytes for <=256 processors, tuples beyond.
+_CacheKey = bytes | tuple[int, ...]
+
+#: Distinct candidates remembered before the score cache resets.  Search
+#: runs see a few hundred candidates; the cap only guards unbounded streams.
+_CACHE_LIMIT = 1 << 16
+
+
+class BatchMappingEvaluator:
+    """Score task->processor mappings on flat columns, alone or in batches.
+
+    Construction fixes the graph, network, communication model and task
+    order (defaulting to the bottom-level priority list, like
+    ``simulate_mapping``).  :meth:`evaluate` scores one candidate,
+    :meth:`evaluate_batch` a population, :meth:`schedule` materializes the
+    chosen mapping through the object path.  The evaluator owns live column
+    state shared across calls, so it must not be used concurrently.
+
+    Like the object backend, per-candidate validation is lazy: a mapping
+    that misses a task or maps one to a non-processor raises when first
+    converted; extra keys for tasks outside the graph are ignored.
+    """
+
+    #: reported by ``repro profile`` / ``--stats`` (satellite of ISSUE 8)
+    backend = "array"
+
+    def __init__(
+        self,
+        graph: TaskGraph,
+        net: NetworkTopology,
+        *,
+        order: Sequence[TaskId] | None = None,
+        comm: CommModel = CUT_THROUGH,
+        algorithm: str = "mapping",
+    ) -> None:
+        task_order = list(order) if order is not None else priority_list(graph)
+        if sorted(task_order) != sorted(t.tid for t in graph.tasks()):
+            raise SchedulingError("order is not a permutation of the graph's tasks")
+        self._graph = graph
+        self._net = net
+        self._comm = comm
+        self._algorithm = algorithm
+        self._order = task_order
+        procs = list(net.processors())
+        self._proc_vids: list[VertexId] = [p.vid for p in procs]
+        self._vid_to_pidx: dict[VertexId, int] = {
+            p.vid: i for i, p in enumerate(procs)
+        }
+        n_procs = len(procs)
+        self._n_procs = n_procs
+        n = len(task_order)
+        self._n = n
+        pos_of = {tid: i for i, tid in enumerate(task_order)}
+        # Static per-position facts.  ``exec_flat[pos * P + pidx]`` keeps the
+        # object path's ``weight / speed`` division (never rewritten as a
+        # multiplication by the inverse — that rounds differently).
+        exec_flat: list[float] = []
+        in_edges: list[tuple[tuple[int, float], ...]] = []
+        for tid in task_order:
+            weight = graph.task(tid).weight
+            exec_flat.extend(weight / p.speed for p in procs)
+            edges = tuple(
+                (pos_of[e.src], e.cost)
+                for e in sorted(graph.in_edges(tid), key=lambda e: e.src)
+            )
+            for _src_pos, cost in edges:
+                if cost < 0:
+                    raise SchedulingError(f"negative communication cost {cost}")
+            in_edges.append(edges)
+        self._exec_flat = exec_flat
+        self._in_edges = in_edges
+        #: route plans per ``src_pidx * P + dst_pidx``, resolved lazily
+        self._route_plans: list[list[_LinkPlan] | None] = [None] * (n_procs * n_procs)
+        self._lstate = ArrayLinkState()
+        self._pstate = ArrayProcState(n_procs)
+        #: finish time per order position of the last simulated candidate.
+        #: Overwritten in order during re-simulation, so positions >= the
+        #: divergence point are always rewritten before being read — no
+        #: journal needed.
+        self._task_finish: list[float] = [0.0] * n
+        #: dense processor index applied at each simulated order position
+        self._applied: list[int] = []
+        #: link-journal snapshot captured just before each position; the
+        #: processor journal needs no marks — it holds exactly one entry per
+        #: position, so its mark at position ``p`` is ``p``.
+        self._lmarks: list[int] = []
+        #: reusable mapping->dense conversion buffer
+        self._buf: list[int] = [0] * n
+        self._scores: dict[_CacheKey, float] = {}
+        self._pack_keys = n_procs <= 256
+
+    # -- internals -----------------------------------------------------------
+
+    def _route_plan(self, src_pidx: int, dst_pidx: int) -> list[_LinkPlan]:
+        """Resolve (once) a processor pair's route into column triples."""
+        route = bfs_route(
+            self._net, self._proc_vids[src_pidx], self._proc_vids[dst_pidx]
+        )
+        columns = self._lstate.columns
+        plan: list[_LinkPlan] = []
+        for link in route:
+            starts, finishes = columns(link.lid)
+            plan.append((starts, finishes, link.speed))
+        self._route_plans[src_pidx * self._n_procs + dst_pidx] = plan
+        return plan
+
+    def dense(self, mapping: Mapping[TaskId, VertexId]) -> list[int]:
+        """``mapping`` as a dense genome: processor index per order position."""
+        vid_to_pidx = self._vid_to_pidx
+        try:
+            return [vid_to_pidx[mapping[tid]] for tid in self._order]
+        except KeyError:
+            for tid in self._order:
+                if tid not in mapping:
+                    raise SchedulingError(f"mapping misses tasks [{tid}]") from None
+                if mapping[tid] not in vid_to_pidx:
+                    raise SchedulingError(
+                        f"task {tid} mapped to non-processor {mapping[tid]}"
+                    ) from None
+            raise  # pragma: no cover - unreachable: one branch above fired
+
+    def _resimulate(self, cand: list[int], start: int) -> None:
+        """Simulate order positions ``start..n`` onto the columns.
+
+        The booking arithmetic is ``LinkScheduleState.book_edge_basic``
+        verbatim — inlined bisect gap search, ``cost / speed`` durations,
+        cut-through vs store-and-forward constraint propagation — minus the
+        object bookkeeping.  Positions ``< start`` must already agree with
+        ``cand`` (the caller rewound to the shared prefix).
+        """
+        n = self._n
+        n_procs = self._n_procs
+        in_edges = self._in_edges
+        exec_flat = self._exec_flat
+        task_finish = self._task_finish
+        route_plans = self._route_plans
+        lstate = self._lstate
+        journal_starts = lstate.journal_starts
+        journal_finishes = lstate.journal_finishes
+        journal_index = lstate.journal_index
+        lmarks = self._lmarks
+        pstate = self._pstate
+        proc_finish = pstate.finish
+        journal_proc = pstate.journal_proc
+        journal_old = pstate.journal_finish
+        applied = self._applied
+        comm = self._comm
+        cut_through = comm.mode == "cut-through"
+        hop = comm.hop_delay
+        for pos in range(start, n):
+            pidx = cand[pos]
+            lmarks.append(len(journal_index))
+            applied.append(pidx)
+            t_dr = 0.0
+            for src_pos, cost in in_edges[pos]:
+                ready = task_finish[src_pos]
+                src_pidx = cand[src_pos]
+                if src_pidx == pidx or cost <= 0.0:
+                    if ready > t_dr:
+                        t_dr = ready
+                    continue
+                plan = route_plans[src_pidx * n_procs + pidx]
+                if plan is None:
+                    plan = self._route_plan(src_pidx, pidx)
+                est = ready
+                min_finish = 0.0
+                arrival = ready
+                # repro-lint note: iterating the *plan* (one entry per route
+                # link) is the per-link walk of the reference algorithm; the
+                # column arrays themselves are only touched via bisect and
+                # point inserts below.
+                for starts, finishes, speed in plan:
+                    duration = cost / speed
+                    floor = min_finish - duration
+                    lo = est if est >= floor else floor
+                    n_booked = len(starts)
+                    i = bisect_left(starts, lo + duration)
+                    prev_finish = finishes[i - 1] if i > 0 else 0.0
+                    while True:
+                        slot_start = prev_finish if prev_finish > lo else lo
+                        arrival = slot_start + duration
+                        if i >= n_booked or arrival <= starts[i]:
+                            break
+                        prev_finish = finishes[i]
+                        i += 1
+                    starts.insert(i, slot_start)
+                    finishes.insert(i, arrival)
+                    journal_starts.append(starts)
+                    journal_finishes.append(finishes)
+                    journal_index.append(i)
+                    if cut_through:
+                        est = slot_start + hop
+                        min_finish = arrival + hop
+                    else:
+                        est = arrival + hop
+                        min_finish = 0.0
+                if arrival > t_dr:
+                    t_dr = arrival
+            last_finish = proc_finish[pidx]
+            journal_proc.append(pidx)
+            journal_old.append(last_finish)
+            task_start = last_finish if last_finish > t_dr else t_dr
+            finish = task_start + exec_flat[pos * n_procs + pidx]
+            proc_finish[pidx] = finish
+            task_finish[pos] = finish
+
+    # -- public API ----------------------------------------------------------
+
+    def evaluate_dense(self, cand: list[int]) -> float:
+        """Makespan of a dense genome — bit-identical to the object path.
+
+        Rewinds the live columns to the longest prefix shared with the
+        previously evaluated genome and re-simulates only the suffix.
+        Previously seen genomes return their cached score without touching
+        the columns at all.
+        """
+        key: _CacheKey = bytes(cand) if self._pack_keys else tuple(cand)
+        scores = self._scores
+        hit = scores.get(key)
+        if hit is not None:
+            if OBS.on:
+                OBS.metrics.counter("mapping.evaluations").inc()
+                OBS.metrics.counter("mapping.identical_skips").inc()
+            return hit
+        applied = self._applied
+        divergence = len(applied)
+        for pos in range(divergence):
+            if cand[pos] != applied[pos]:
+                divergence = pos
+                break
+        if divergence < len(applied):
+            self._lstate.restore(self._lmarks[divergence])
+            self._pstate.restore(divergence)
+            del self._lmarks[divergence:]
+            del applied[divergence:]
+        if OBS.on:
+            metrics = OBS.metrics
+            metrics.counter("mapping.evaluations").inc()
+            if divergence:
+                metrics.counter("mapping.prefix_hits").inc()
+                metrics.counter("mapping.shared_prefix_tasks").inc(divergence)
+            resimulated = self._n - divergence
+            if resimulated:
+                metrics.counter("mapping.suffix_tasks_resimulated").inc(resimulated)
+        self._resimulate(cand, divergence)
+        span = self._pstate.makespan()
+        if len(scores) >= _CACHE_LIMIT:
+            scores.clear()
+        scores[key] = span
+        return span
+
+    def evaluate(self, mapping: Mapping[TaskId, VertexId]) -> float:
+        """Makespan of one candidate mapping (see :meth:`evaluate_dense`)."""
+        buf = self._buf
+        vid_to_pidx = self._vid_to_pidx
+        order = self._order
+        try:
+            for i in range(self._n):
+                buf[i] = vid_to_pidx[mapping[order[i]]]
+        except KeyError:
+            self.dense(mapping)  # raises with the precise diagnosis
+            raise  # pragma: no cover - unreachable: dense() always raises
+        return self.evaluate_dense(buf)
+
+    def evaluate_batch(
+        self, mappings: Sequence[Mapping[TaskId, VertexId]]
+    ) -> list[float]:
+        """Score a whole candidate population; results in caller order.
+
+        The batch forks from the live shared-prefix checkpoint: candidates
+        are evaluated in lexicographic dense-genome order (a depth-first
+        prefix-trie walk, so consecutive candidates share the longest
+        possible checkpoints), and each score is a pure function of its
+        mapping, so the reordering is unobservable in the results.
+        """
+        genomes = [self.dense(m) for m in mappings]
+        if OBS.on:
+            OBS.metrics.counter("mapping.batch_evaluations").inc()
+            OBS.metrics.counter("mapping.batch_candidates").inc(len(genomes))
+        by_prefix = sorted(range(len(genomes)), key=genomes.__getitem__)
+        out = [0.0] * len(genomes)
+        for k in by_prefix:
+            out[k] = self.evaluate_dense(genomes[k])
+        return out
+
+    def schedule(self, mapping: Mapping[TaskId, VertexId]) -> Schedule:
+        """Full :class:`~repro.core.schedule.Schedule` for ``mapping``.
+
+        Delegates to :func:`~repro.core.mapping.simulate_mapping` — the
+        columns store no edge identities or routes, and the search
+        materializes exactly one winner.  Unlike the scoring path this
+        validates the mapping eagerly, like ``simulate_mapping`` itself.
+        """
+        return simulate_mapping(
+            self._graph,
+            self._net,
+            mapping,
+            order=self._order,
+            comm=self._comm,
+            algorithm=self._algorithm,
+        )
+
+    # -- introspection (differential tests) ----------------------------------
+
+    @property
+    def link_state(self) -> ArrayLinkState:
+        """The live link columns (read-only use: differential tests)."""
+        return self._lstate
+
+    @property
+    def proc_state(self) -> ArrayProcState:
+        """The live processor column (read-only use: differential tests)."""
+        return self._pstate

@@ -12,6 +12,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.ba import BAScheduler
+from repro.core.batch import BatchMappingEvaluator
 from repro.core.incremental import IncrementalMappingEvaluator
 from repro.core.mapping import simulate_mapping
 from repro.core.schedule import Schedule
@@ -19,6 +20,7 @@ from repro.exceptions import SchedulingError
 from repro.linksched.commmodel import CUT_THROUGH, CommModel
 from repro.network.topology import NetworkTopology
 from repro.network.validate import validate_topology
+from repro.obs import OBS, ScheduleStats, diff_snapshots, diff_timings
 from repro.taskgraph.graph import TaskGraph
 from repro.taskgraph.validate import validate_graph
 from repro.utils.rng import as_rng
@@ -40,6 +42,7 @@ class GeneticScheduler:
         comm: CommModel = CUT_THROUGH,
         rng: int | np.random.Generator | None = 0,
         incremental: bool = True,
+        backend: str = "array",
     ) -> None:
         if population < 2:
             raise SchedulingError(f"population must be >= 2, got {population}")
@@ -49,6 +52,10 @@ class GeneticScheduler:
             raise SchedulingError(f"mutation rate must be in [0, 1], got {mutation_rate}")
         if not 0 <= elite < population:
             raise SchedulingError(f"elite must be in [0, population), got {elite}")
+        if backend not in ("object", "array"):
+            raise SchedulingError(
+                f"unknown evaluation backend {backend!r}; choose 'object' or 'array'"
+            )
         self.population = population
         self.generations = generations
         self.mutation_rate = mutation_rate
@@ -57,12 +64,24 @@ class GeneticScheduler:
         self.comm = comm
         self.rng = rng
         #: evaluate candidates incrementally (prefix-state reuse); ``False``
-        #: keeps the full-resimulation reference path reachable
+        #: keeps the full-resimulation reference path reachable (and ignores
+        #: ``backend``)
         self.incremental = incremental
+        #: prefix-reusing evaluator flavour: ``"array"`` (default) scores
+        #: each generation as one batch on flat columns
+        #: (:class:`~repro.core.batch.BatchMappingEvaluator`), ``"object"``
+        #: scores candidates one-by-one on the object substrate.  Scores
+        #: and schedules are bit-identical across backends.
+        self.backend = backend
 
     def schedule(self, graph: TaskGraph, net: NetworkTopology) -> Schedule:
         validate_graph(graph)
         validate_topology(net)
+        observing = OBS.on
+        if observing:
+            metrics_before = OBS.metrics.snapshot()
+            timings_before = OBS.profiler.snapshot()
+            event_mark = OBS.bus.mark()
         gen = as_rng(self.rng)
         procs = np.array([p.vid for p in net.processors()])
         tasks = [t.tid for t in graph.tasks()]
@@ -74,11 +93,16 @@ class GeneticScheduler:
         def to_mapping(genome: np.ndarray) -> dict[int, int]:
             return {tid: int(genome[i]) for i, tid in enumerate(tasks)}
 
-        evaluator: IncrementalMappingEvaluator | None = None
+        evaluator: IncrementalMappingEvaluator | BatchMappingEvaluator | None = None
         if self.incremental:
-            evaluator = IncrementalMappingEvaluator(
-                graph, net, comm=self.comm, algorithm=self.name
-            )
+            if self.backend == "array":
+                evaluator = BatchMappingEvaluator(
+                    graph, net, comm=self.comm, algorithm=self.name
+                )
+            else:
+                evaluator = IncrementalMappingEvaluator(
+                    graph, net, comm=self.comm, algorithm=self.name
+                )
 
         def fitness(genome: np.ndarray) -> float:
             if evaluator is not None:
@@ -87,11 +111,22 @@ class GeneticScheduler:
                 graph, net, to_mapping(genome), comm=self.comm, algorithm=self.name
             ).makespan
 
+        def score_pool(pool: list[np.ndarray]) -> np.ndarray:
+            # The array backend scores each generation as one batch forking
+            # from the shared prefix checkpoint; scores are pure functions
+            # of the mappings, so the result array is bit-identical to the
+            # one-by-one path (same floats, same order).
+            if isinstance(evaluator, BatchMappingEvaluator):
+                return np.array(
+                    evaluator.evaluate_batch([to_mapping(g) for g in pool])
+                )
+            return np.array([fitness(g) for g in pool])
+
         pool = [random_genome() for _ in range(self.population)]
         if self.seed_with_ba:
             ba = BAScheduler(comm=self.comm).schedule(graph, net)
             pool[0] = np.array([ba.placements[tid].processor for tid in tasks])
-        scores = np.array([fitness(g) for g in pool])
+        scores = score_pool(pool)
 
         for _ in range(self.generations):
             order = np.argsort(scores)
@@ -112,11 +147,21 @@ class GeneticScheduler:
                     child[mut] = gen.choice(procs, size=int(mut.sum()))
                 next_pool.append(child)
             pool = next_pool
-            scores = np.array([fitness(g) for g in pool])
+            scores = score_pool(pool)
 
         best = pool[int(np.argmin(scores))]
         if evaluator is not None:
-            return evaluator.schedule(to_mapping(best))
-        return simulate_mapping(
-            graph, net, to_mapping(best), comm=self.comm, algorithm=self.name
-        )
+            result = evaluator.schedule(to_mapping(best))
+        else:
+            result = simulate_mapping(
+                graph, net, to_mapping(best), comm=self.comm, algorithm=self.name
+            )
+        if observing:
+            # Same capture ContentionScheduler attaches: what this whole
+            # search did, including every candidate evaluation.
+            result.stats = ScheduleStats(
+                metrics=diff_snapshots(metrics_before, OBS.metrics.snapshot()),
+                timings=diff_timings(timings_before, OBS.profiler.snapshot()),
+                events=OBS.bus.since(event_mark),
+            )
+        return result

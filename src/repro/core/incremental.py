@@ -31,9 +31,11 @@ journal mark per order position.  Evaluating a candidate then:
 Makespans — and, via :meth:`IncrementalMappingEvaluator.schedule`, whole
 schedules — are bit-identical to full re-simulation; only the work is
 smaller.  Counters (all under ``if OBS.on``): ``mapping.evaluations``,
-``mapping.prefix_hits`` (evaluations that reused a non-empty prefix) and
+``mapping.prefix_hits`` (evaluations that reused a non-empty prefix),
 ``mapping.suffix_tasks_resimulated`` (positions actually re-run; the
-hit-rate complement).
+hit-rate complement) and ``mapping.identical_skips`` (candidates identical
+to the live state, returned from the cached makespan without re-simulating
+anything).
 """
 
 from __future__ import annotations
@@ -76,6 +78,10 @@ class IncrementalMappingEvaluator:
     non-processor raises when the walk first touches it; extra keys for
     tasks outside the graph are ignored.
     """
+
+    #: reported by ``repro profile`` / ``--stats``; the flat-column
+    #: counterpart is :class:`repro.core.batch.BatchMappingEvaluator`
+    backend = "object"
 
     def __init__(
         self,
@@ -122,6 +128,9 @@ class IncrementalMappingEvaluator:
         #: journal marks captured just before simulating each position
         self._lmarks: list[int] = []
         self._pmarks: list[int] = []
+        #: makespan of the last evaluated candidate — returned verbatim when
+        #: the next candidate is identical (divergence scan finds nothing)
+        self._last_span: float | None = None
 
     # -- internals -----------------------------------------------------------
 
@@ -244,6 +253,17 @@ class IncrementalMappingEvaluator:
         the event log only records materialized work.
         """
         position = self._divergence(mapping)
+        last_span = self._last_span
+        if position == len(self._order) and last_span is not None:
+            # The candidate is identical to the live state: nothing to
+            # rewind, nothing to re-simulate, and the makespan is the one
+            # already computed (a genetic elite re-scored next generation,
+            # an annealing move proposed twice in a row).
+            if OBS.on:
+                OBS.metrics.counter("mapping.evaluations").inc()
+                OBS.metrics.counter("mapping.prefix_hits").inc()
+                OBS.metrics.counter("mapping.identical_skips").inc()
+            return last_span
         if position < len(self._applied):
             self._rewind(position)
         if OBS.on:
@@ -257,7 +277,9 @@ class IncrementalMappingEvaluator:
                 )
         with OBS.bus.quiet():
             self._resimulate(mapping, position, None)
-        return self._makespan()
+        span = self._makespan()
+        self._last_span = span
+        return span
 
     def schedule(self, mapping: Mapping[TaskId, VertexId]) -> Schedule:
         """Full :class:`~repro.core.schedule.Schedule` for ``mapping``.
@@ -270,6 +292,7 @@ class IncrementalMappingEvaluator:
         """
         if self._applied:
             self._rewind(0)
+        self._last_span = None
         arrivals: dict[EdgeKey, float] = {}
         self._resimulate(mapping, 0, arrivals)
         return Schedule(

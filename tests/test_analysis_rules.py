@@ -543,3 +543,112 @@ class TestRollbackInFinally:
                     raise
             """,
         )
+
+
+BATCH = "src/repro/core/batch.py"
+ARRAYSTATE = "src/repro/linksched/arraystate.py"
+
+
+class TestColumnLoop:
+    def test_for_over_column_fires(self):
+        found = run_rule(
+            "ARR001",
+            """
+            def span(finishes: list[float]) -> float:
+                best = 0.0
+                for f in finishes:
+                    if f > best:
+                        best = f
+                return best
+            """,
+            path=ARRAYSTATE,
+        )
+        assert [f.rule for f in found] == ["ARR001"]
+        assert "finishes" in found[0].message
+
+    def test_enumerate_attribute_column_fires(self):
+        found = run_rule(
+            "ARR001",
+            """
+            def scan(self) -> int:
+                n = 0
+                for i, s in enumerate(self.journal_starts):
+                    n += i
+                return n
+            """,
+            path=BATCH,
+        )
+        assert len(found) == 1
+        assert "journal_starts" in found[0].message
+
+    def test_range_len_column_fires(self):
+        found = run_rule(
+            "ARR001",
+            """
+            def walk(starts: list[float]) -> None:
+                for i in range(len(starts)):
+                    starts[i] += 1.0
+            """,
+            path=BATCH,
+        )
+        assert len(found) == 1
+
+    def test_comprehension_over_column_fires(self):
+        found = run_rule(
+            "ARR001",
+            "total = sum(f for f in finishes)\n",
+            path=ARRAYSTATE,
+        )
+        assert len(found) == 1
+        assert "comprehension" in found[0].message
+
+    def test_bulk_operations_are_clean(self):
+        assert not run_rule(
+            "ARR001",
+            """
+            import bisect
+
+            def book(starts: list[float], finishes: list[float], t: float) -> None:
+                i = bisect.bisect_left(starts, t)
+                starts.insert(i, t)
+                finishes.insert(i, t + 1.0)
+                del starts[i:]
+            """,
+            path=ARRAYSTATE,
+        )
+
+    def test_non_column_loops_are_clean(self):
+        assert not run_rule(
+            "ARR001",
+            """
+            def resim(plan: list[tuple[float, float]], n: int) -> float:
+                acc = 0.0
+                for a, b in plan:
+                    acc += b - a
+                for i in range(3, n):
+                    acc += i
+                return acc
+            """,
+            path=BATCH,
+        )
+
+    def test_out_of_scope_path_is_clean(self):
+        assert not run_rule(
+            "ARR001",
+            "best = max(f for f in finishes)\n",
+            path=CORE,
+        )
+
+    def test_disable_comment_suppresses(self):
+        result = lint_source(
+            textwrap.dedent(
+                """
+                def debug_dump(finishes: list[float]) -> list[str]:
+                    return [f"{f:.3f}" for f in finishes]  # repro-lint: disable=ARR001
+                """
+            ),
+            ARRAYSTATE,
+            select_rules(["ARR001"]),
+        )
+        assert not result.findings
+        assert len(result.suppressed) == 1

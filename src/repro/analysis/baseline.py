@@ -8,9 +8,22 @@ file, rule, offending line content, and a required human reason.
 
 Matching is content-based — ``(path, rule, stripped line text)`` — so
 entries survive unrelated line-number drift but go **stale** the moment the
-line itself changes, forcing a re-decision.  ``repro lint`` fails on stale
-entries so the file can never rot.  ``--fail-on-baseline`` additionally
-fails on matched entries, for burn-down runs.
+line itself changes, forcing a re-decision.  Stale entries are classified
+by *why* they matched nothing:
+
+- **changed** — the file was linted but the recorded line no longer fires
+  (edited, or the finding is simply gone).  Fails the run: re-decide.
+- **orphaned** — the file was neither linted nor found on disk: it was
+  renamed or deleted, leaving a content-keyed entry pointing nowhere.
+  Fails the run; ``--update-baseline`` prunes these (and the residual
+  budget of changed entries) in place.
+- **unchecked** — the entry's file or rule was simply outside this run
+  (a subset lint like ``repro lint tests`` or ``--select TXN101``).  Not
+  a failure: a partial run proves nothing about entries it never checked.
+
+``repro lint`` fails on changed/orphaned entries so the file can never
+rot.  ``--fail-on-baseline`` additionally fails on matched entries, for
+burn-down runs.
 """
 
 from __future__ import annotations
@@ -59,8 +72,17 @@ class BaselineMatch:
 
     new: list[Finding] = field(default_factory=list)
     baselined: list[Finding] = field(default_factory=list)
-    #: entries (with residual counts) that matched nothing — stale, fix or drop
-    stale: list[BaselineEntry] = field(default_factory=list)
+    #: linted, but the recorded line no longer fires — re-decide
+    changed: list[BaselineEntry] = field(default_factory=list)
+    #: file renamed/deleted out from under the entry — prunable
+    orphaned: list[BaselineEntry] = field(default_factory=list)
+    #: file or rule outside this run's scope — no verdict either way
+    unchecked: list[BaselineEntry] = field(default_factory=list)
+
+    @property
+    def stale(self) -> list[BaselineEntry]:
+        """Entries (with residual counts) that fail the run."""
+        return self.changed + self.orphaned
 
 
 class Baseline:
@@ -129,8 +151,20 @@ class Baseline:
             fh.write("\n")
         os.replace(tmp, path)
 
-    def apply(self, findings: list[Finding]) -> BaselineMatch:
-        """Split ``findings`` into new vs. baselined; surface stale entries."""
+    def apply(
+        self,
+        findings: list[Finding],
+        *,
+        linted_paths: set[str] | None = None,
+        active_rules: set[str] | None = None,
+    ) -> BaselineMatch:
+        """Split ``findings`` into new vs. baselined; classify stale entries.
+
+        ``linted_paths`` and ``active_rules`` describe the run's scope; when
+        provided, residual entries outside that scope land in ``unchecked``
+        instead of failing the run.  Without them every residual entry is
+        reported as ``changed`` (the conservative default).
+        """
         budget: dict[tuple[str, str, str], int] = {
             e.key: e.count for e in self.entries
         }
@@ -144,14 +178,49 @@ class Baseline:
                 match.new.append(finding)
         for entry in self.entries:
             residual = budget.get(entry.key, 0)
-            if residual > 0:
-                match.stale.append(
-                    BaselineEntry(
-                        path=entry.path,
-                        rule=entry.rule,
-                        content=entry.content,
-                        reason=entry.reason,
-                        count=residual,
-                    )
-                )
+            if residual <= 0:
+                continue
+            leftover = BaselineEntry(
+                path=entry.path,
+                rule=entry.rule,
+                content=entry.content,
+                reason=entry.reason,
+                count=residual,
+            )
+            if active_rules is not None and entry.rule not in active_rules:
+                match.unchecked.append(leftover)
+            elif linted_paths is not None and entry.path not in linted_paths:
+                if os.path.exists(entry.path):
+                    match.unchecked.append(leftover)
+                else:
+                    match.orphaned.append(leftover)
+            else:
+                match.changed.append(leftover)
         return match
+
+    def pruned(self, match: BaselineMatch) -> "Baseline":
+        """A copy with ``match``'s stale residuals removed.
+
+        Orphaned entries drop entirely (their residual is the full count);
+        changed entries keep whatever budget the run still consumed.
+        Unchecked entries are untouched — a partial run has no authority
+        over them.
+        """
+        residual: dict[tuple[str, str, str], int] = {}
+        for entry in match.stale:
+            residual[entry.key] = residual.get(entry.key, 0) + entry.count
+        kept = []
+        for entry in self.entries:
+            count = entry.count - residual.get(entry.key, 0)
+            if count <= 0:
+                continue
+            if count != entry.count:
+                entry = BaselineEntry(
+                    path=entry.path,
+                    rule=entry.rule,
+                    content=entry.content,
+                    reason=entry.reason,
+                    count=count,
+                )
+            kept.append(entry)
+        return Baseline(kept)

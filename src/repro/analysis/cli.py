@@ -53,9 +53,18 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         "(fill in each entry's `reason` before committing)",
     )
     parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="prune stale baseline entries (orphaned files, shrunk budgets) "
+        "in place instead of failing on them",
+    )
+    parser.add_argument(
         "--fail-on-baseline", action="store_true",
         help="exit non-zero even when findings are covered by the baseline "
         "(burn-down mode)",
+    )
+    parser.add_argument(
+        "--output", default=None, metavar="FILE",
+        help="also write the JSON report to FILE (independent of --format)",
     )
     parser.add_argument(
         "--list-rules", action="store_true",
@@ -84,20 +93,38 @@ def _print_rules() -> None:
         print(f"    {rule.summary}")
 
 
+#: JSON report layout version.  2 added ``schema_version`` itself, the
+#: active ``rules`` list, per-entry ``status`` on stale baseline entries,
+#: and the ``unchecked_baseline`` section.
+_SCHEMA_VERSION = 2
+
+
 def _json_report(
-    result: LintResult, match: BaselineMatch, new: list[Finding]
+    result: LintResult,
+    match: BaselineMatch,
+    new: list[Finding],
+    rule_ids: list[str],
 ) -> dict[str, object]:
+    stale = [
+        dict(e.to_dict(), status=status)
+        for status, entries in (("changed", match.changed), ("orphaned", match.orphaned))
+        for e in entries
+    ]
     return {
+        "schema_version": _SCHEMA_VERSION,
+        "rules": rule_ids,
         "findings": [f.to_dict() for f in new],
         "baselined": [f.to_dict() for f in match.baselined],
         "suppressed": [f.to_dict() for f in result.suppressed],
-        "stale_baseline": [e.to_dict() for e in match.stale],
+        "stale_baseline": stale,
+        "unchecked_baseline": [e.to_dict() for e in match.unchecked],
         "summary": {
             "files": result.files,
             "findings": len(new),
             "baselined": len(match.baselined),
             "suppressed": len(result.suppressed),
-            "stale_baseline": len(match.stale),
+            "stale_baseline": len(stale),
+            "unchecked_baseline": len(match.unchecked),
         },
     }
 
@@ -138,19 +165,47 @@ def run(args: argparse.Namespace) -> int:
         except (OSError, ValueError, KeyError) as exc:
             print(f"repro lint: bad baseline {baseline_path}: {exc}", file=sys.stderr)
             return 2
-    match = baseline.apply(result.findings)
+    match = baseline.apply(
+        result.findings,
+        linted_paths=set(result.paths),
+        active_rules={r.rule_id for r in rules},
+    )
     new = match.new
 
+    pruned = 0
+    if args.update_baseline and match.stale:
+        pruned = len(match.stale)
+        baseline.pruned(match).save(baseline_path)
+        print(
+            f"repro lint: pruned {pruned} stale entr"
+            f"{'y' if pruned == 1 else 'ies'} from {baseline_path}",
+            file=sys.stderr,
+        )
+        match.changed.clear()
+        match.orphaned.clear()
+
+    report = _json_report(result, match, new, [r.rule_id for r in rules])
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json.dump(report, fh, indent=2, sort_keys=True)
+            fh.write("\n")
     if args.format == "json":
-        print(json.dumps(_json_report(result, match, new), indent=2, sort_keys=True))
+        print(json.dumps(report, indent=2, sort_keys=True))
     else:
         for finding in new:
             print(finding.format())
-        for entry in match.stale:
+        for entry in match.changed:
             print(
                 f"repro lint: stale baseline entry ({entry.rule} in {entry.path}: "
                 f"{entry.content!r} x{entry.count}) — the line changed or the "
                 "finding is gone; update the baseline",
+                file=sys.stderr,
+            )
+        for entry in match.orphaned:
+            print(
+                f"repro lint: stale baseline entry ({entry.rule} in {entry.path}: "
+                f"{entry.content!r} x{entry.count}) — the file no longer exists; "
+                "run with --update-baseline to prune",
                 file=sys.stderr,
             )
         print(

@@ -23,9 +23,13 @@ import ast
 import os
 import re
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator
+from typing import TYPE_CHECKING, Iterable, Iterator
 
 from repro.analysis.findings import Finding
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations
+    from repro.analysis.callgraph import CallGraph
+    from repro.analysis.cfg import CFG
 
 _SUPPRESS_RE = re.compile(
     r"#\s*repro-lint:\s*(disable(?:-file)?)\s*=\s*([A-Za-z0-9_,\s]+)"
@@ -212,6 +216,8 @@ class LintContext:
         self._line_disables: dict[int, set[str]] = {}
         self._file_disables: set[str] = set()
         self._parents: dict[int, ast.AST] | None = None
+        self._cfgs: dict[int, "CFG"] = {}
+        self._callgraph: "CallGraph | None" = None
         for lineno, text in enumerate(self.lines, start=1):
             match = _SUPPRESS_RE.search(text)
             if match is None:
@@ -230,6 +236,29 @@ class LintContext:
     def is_suppressed(self, rule_id: str, lineno: int) -> bool:
         ids = self._line_disables.get(lineno, set()) | self._file_disables
         return rule_id.upper() in ids or "ALL" in ids
+
+    def cfg(self, scope: ast.AST) -> "CFG":
+        """The (memoized) control-flow graph of a function or module scope.
+
+        Rules running flow queries share one CFG per scope per file; the
+        fixpoint analyses themselves are cheap relative to building the
+        graph, so they are not cached here.
+        """
+        from repro.analysis.cfg import build_cfg
+
+        cached = self._cfgs.get(id(scope))
+        if cached is None:
+            cached = build_cfg(scope)  # type: ignore[arg-type]
+            self._cfgs[id(scope)] = cached
+        return cached
+
+    def callgraph(self) -> "CallGraph":
+        """The (memoized) module-local call graph of the file."""
+        from repro.analysis.callgraph import CallGraph
+
+        if self._callgraph is None:
+            self._callgraph = CallGraph(self.tree)
+        return self._callgraph
 
     def parent(self, node: ast.AST) -> ast.AST | None:
         """The AST parent of ``node`` (parent map built lazily, once)."""
@@ -267,6 +296,8 @@ class LintResult:
     findings: list[Finding] = field(default_factory=list)
     suppressed: list[Finding] = field(default_factory=list)
     files: int = 0
+    #: normalized repo-relative paths of every file this run actually linted
+    paths: list[str] = field(default_factory=list)
 
 
 def lint_source(
@@ -285,14 +316,16 @@ def lint_source(
             rule="PARSE",
             message=f"syntax error: {exc.msg}",
         )
-        return LintResult(findings=[finding], files=1)
+        return LintResult(findings=[finding], files=1, paths=[rel])
     ctx = LintContext(rel, source, tree)
     for rule in active:
         if rule.applies_to(rel):
             rule.check(tree, ctx)
     ctx.findings.sort(key=lambda f: f.sort_key)
     ctx.suppressed.sort(key=lambda f: f.sort_key)
-    return LintResult(findings=ctx.findings, suppressed=ctx.suppressed, files=1)
+    return LintResult(
+        findings=ctx.findings, suppressed=ctx.suppressed, files=1, paths=[rel]
+    )
 
 
 def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
@@ -324,6 +357,7 @@ def lint_paths(
         result.findings.extend(file_result.findings)
         result.suppressed.extend(file_result.suppressed)
         result.files += 1
+        result.paths.extend(file_result.paths)
     result.findings.sort(key=lambda f: f.sort_key)
     result.suppressed.sort(key=lambda f: f.sort_key)
     return result

@@ -8,8 +8,13 @@ Rule families (ids are ``FAMILY###``):
   wall-clock reads where schedule bytes are decided,
 - ``FLT`` — float discipline: no exact ``==``/``!=`` on float expressions
   outside the audited tolerance helpers,
+- ``KER`` — compilable-kernel subset: the batch-evaluation hot loops stay
+  inside the feature set a tracing compiler can lower,
 - ``OBS`` — obs-off discipline: hot-path emissions behind ``OBS.on``,
-- ``TXN`` — transaction safety for the link-schedule undo log.
+- ``PUR`` — worker purity: ProcessPool entry points stay deterministic
+  and picklable,
+- ``TXN`` — transaction safety for the link-schedule undo log
+  (``TXN1xx`` are flow-sensitive, built on the CFG/dataflow framework).
 
 See ``docs/static_analysis.md`` for each rule's paper/PR rationale and how
 to add a new one.
@@ -21,8 +26,11 @@ from repro.analysis.rules import (  # noqa: F401  (import registers the rules)
     arrays,
     determinism,
     floats,
+    kernel,
     obsguard,
+    purity,
     transactions,
+    txnflow,
 )
 
 #: Family prefix -> human name, for ``repro lint --list-rules`` grouping.
@@ -30,6 +38,8 @@ FAMILIES: dict[str, str] = {
     "ARR": "array discipline",
     "DET": "determinism",
     "FLT": "float discipline",
+    "KER": "compilable kernel subset",
     "OBS": "observability guards",
+    "PUR": "worker purity",
     "TXN": "transaction safety",
 }

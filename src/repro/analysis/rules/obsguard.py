@@ -6,13 +6,22 @@ discipline: an unguarded ``OBS.emit`` or counter bump builds its payload
 (string formatting, dict allocation) on every probe even when observability
 is off, quietly costing the >2x speedups back.
 
-The rule recognizes the repo's guard idioms:
+"Guarded" is a *dominance* question, answered on the function's CFG
+(:mod:`repro.analysis.cfg`): an emission is guarded when its node is
+dominated by the guarding arm of an ``OBS.on`` test — the true arm of
+``if OBS.on:`` / ``if observing and ...:``, or the false arm of
+``if not OBS.on: ...``.  Dominance subsumes the idiom catalogue the
+original line scanner special-cased: the early-exit form ``if not OBS.on:
+return`` guards the rest of the function *because* every later node is
+dominated by the test's fall-through arm, not because the rule pattern-
+matches a ``return``; the same holds for ``continue``/``break``/``raise``
+early exits and for guard tests sitting inside loops or ``try`` bodies.
 
-- ``if OBS.on: ...`` (and boolean tests that mention ``OBS.on``),
+Recognized guard spellings (the test expression, not the shape around it):
+
+- ``OBS.on`` itself, possibly inside a larger boolean test,
 - a local alias — ``observing = OBS.on`` / ``obs_on = OBS.on`` — tested
   later (``if observing: ...``),
-- the early-exit form ``if not OBS.on: return ...`` guarding the rest of
-  the block,
 - a private helper whose every call site *within the module* is guarded
   (e.g. ``_attach_stats`` in ``core/base.py``) is treated as guarded.
 
@@ -25,7 +34,9 @@ from __future__ import annotations
 import ast
 from dataclasses import dataclass, field
 
-from repro.analysis.engine import LintContext, Rule, attr_chain, register
+from repro.analysis.cfg import CFG
+from repro.analysis.dataflow import dominators
+from repro.analysis.engine import LintContext, Rule, attr_chain, register, scopes
 
 _METRIC_FACTORIES = {"counter", "gauge", "histogram"}
 
@@ -67,12 +78,6 @@ def _is_negated(test: ast.expr) -> bool:
     return isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not)
 
 
-def _terminates(body: list[ast.stmt]) -> bool:
-    return bool(body) and isinstance(
-        body[-1], (ast.Return, ast.Raise, ast.Continue, ast.Break)
-    )
-
-
 @dataclass
 class _ScopeScan:
     """Emission and call sites found in one function (or the module body)."""
@@ -82,70 +87,54 @@ class _ScopeScan:
     calls: list[tuple[str, bool]] = field(default_factory=list)
 
 
-class _Scanner:
-    """Walks one scope's statements tracking whether ``OBS.on`` dominates."""
+def _guard_arms(cfg: CFG, guard_names: set[str]) -> set[int]:
+    """Arm nodes whose traversal implies ``OBS.on`` held.
 
-    def __init__(self, guard_names: set[str], metric_aliases: set[str]) -> None:
-        self.guard_names = guard_names
-        self.metric_aliases = metric_aliases
-        self.result = _ScopeScan()
+    The true arm of a test mentioning the guard, or the false arm of a
+    top-level-negated one (``if not OBS.on: ...`` — its fall-through side
+    is the guarded side).  ``or``-combined guards are over-trusted, like
+    the line scanner before; the repo idiom is ``and``-composition.
+    """
+    arms: set[int] = set()
+    for node in cfg.nodes:
+        if node.kind != "test" or not node.exprs:
+            continue
+        if not isinstance(node.ast_node, (ast.If, ast.While)):
+            continue
+        test = node.exprs[0]
+        if not _mentions_guard(test, guard_names):
+            continue
+        want = "false" if _is_negated(test) else "true"
+        for arm in cfg.arms_of(node.index):
+            if arm.branch == want:
+                arms.add(arm.index)
+    return arms
 
-    def scan_block(self, stmts: list[ast.stmt], guarded: bool) -> None:
-        for stmt in stmts:
-            guarded = self.scan_stmt(stmt, guarded)
 
-    def scan_stmt(self, stmt: ast.stmt, guarded: bool) -> bool:
-        """Scan one statement; returns the guard state for its successors."""
-        if isinstance(stmt, ast.If) and _mentions_guard(stmt.test, self.guard_names):
-            negated = _is_negated(stmt.test)
-            self.scan_expr(stmt.test, guarded)
-            self.scan_block(stmt.body, guarded or not negated)
-            self.scan_block(stmt.orelse, guarded or negated)
-            if negated and not stmt.orelse and _terminates(stmt.body):
-                return True  # `if not OBS.on: return ...` guards the rest
-            return guarded
-        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
-            return guarded  # nested scopes are analyzed separately
-        for value in ast.iter_child_nodes(stmt):
-            if isinstance(value, ast.stmt):
-                continue  # reached via the field lists below
-            if isinstance(value, ast.excepthandler):
-                if value.type is not None:
-                    self.scan_expr(value.type, guarded)
-                self.scan_block(value.body, guarded)
-            elif isinstance(value, ast.expr):
-                self.scan_expr(value, guarded)
-            elif isinstance(value, (ast.withitem, ast.keyword, ast.arguments)):
-                self.scan_expr_container(value, guarded)
-        for field_name, value in ast.iter_fields(stmt):
-            if isinstance(value, list) and value and isinstance(value[0], ast.stmt):
-                self.scan_block(value, guarded)
-        return guarded
+def _bare_callee(func: ast.expr) -> str | None:
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return None
 
-    def scan_expr_container(self, node: ast.AST, guarded: bool) -> None:
-        for child in ast.iter_child_nodes(node):
-            if isinstance(child, ast.expr):
-                self.scan_expr(child, guarded)
 
-    def scan_expr(self, expr: ast.expr, guarded: bool) -> None:
-        for node in ast.walk(expr):
-            if not isinstance(node, ast.Call):
-                continue
-            label = _emission_label(node, self.metric_aliases)
+def _scan_scope(cfg: CFG, guard_names: set[str], metric_aliases: set[str]) -> _ScopeScan:
+    """Classify every call in one scope's CFG by guard dominance."""
+    scan = _ScopeScan()
+    arms = _guard_arms(cfg, guard_names)
+    doms = dominators(cfg) if arms else None
+    for node in cfg.nodes:
+        guarded = doms is not None and bool(arms & doms[node.index])
+        for call in cfg.calls_at(node.index):
+            label = _emission_label(call, metric_aliases)
             if label is not None:
-                self.result.emissions.append((node, label, guarded))
+                scan.emissions.append((call, label, guarded))
                 continue
-            callee = self._bare_callee(node.func)
+            callee = _bare_callee(call.func)
             if callee is not None:
-                self.result.calls.append((callee, guarded))
-
-    @staticmethod
-    def _bare_callee(func: ast.expr) -> str | None:
-        if isinstance(func, ast.Name):
-            return func.id
-        if isinstance(func, ast.Attribute):
-            return func.attr
-        return None
+                scan.calls.append((callee, guarded))
+    return scan
 
 
 def _collect_aliases(body: list[ast.stmt]) -> tuple[set[str], set[str]]:
@@ -276,29 +265,22 @@ class ObsGuardRule(Rule):
     rationale = (
         "The obs-off discipline (PR 1/PR 3): disabled instrumentation must "
         "cost one attribute test.  An unguarded emit/counter call allocates "
-        "its payload on every probe, regressing the fused fast paths."
+        "its payload on every probe, regressing the fused fast paths.  "
+        "Guardedness is dominance by the guarding arm of an OBS.on test on "
+        "the function's CFG."
     )
     include = ("repro/core", "repro/linksched", "repro/network", "repro/procsched")
 
     def check(self, tree: ast.Module, ctx: LintContext) -> None:
         scans: dict[ast.AST, _ScopeScan] = {}
         names: dict[ast.AST, str] = {}
-        functions = [
-            n
-            for n in ast.walk(tree)
-            if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
-        ]
-        for func in functions:
-            guard_names, metric_aliases = _collect_aliases(func.body)
-            scanner = _Scanner(guard_names, metric_aliases)
-            scanner.scan_block(func.body, False)
-            scans[func] = scanner.result
-            names[func] = func.name
-        module_guards, module_metrics = _collect_aliases(tree.body)
-        module_scanner = _Scanner(module_guards, module_metrics)
-        module_scanner.scan_block(tree.body, False)
-        scans[tree] = module_scanner.result
-        names[tree] = "<module>"
+        for scope in scopes(tree):
+            body = scope.body
+            guard_names, metric_aliases = _collect_aliases(body)
+            scans[scope] = _scan_scope(ctx.cfg(scope), guard_names, metric_aliases)
+            names[scope] = (
+                "<module>" if isinstance(scope, ast.Module) else scope.name
+            )
 
         # Module-local escape: a function whose every call site in this file
         # is guarded inherits the guard (e.g. a private _attach_stats helper).

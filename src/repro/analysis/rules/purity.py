@@ -1,0 +1,270 @@
+"""PUR00x: worker purity for the deterministic parallel fan-out.
+
+``experiments/parallel.py`` promises (and ``tests/test_parallel_equivalence``
+asserts) that ``improvement_series(..., jobs=N)`` is bit-identical to the
+serial path for any ``N``.  The contract rests on workers being *pure*: a
+unit's outcome is a function of ``(config, unit seed, algorithms)`` only.
+These rules enforce the three ways Python code quietly breaks that:
+
+- **PUR001** — a worker (``run_unit`` or anything submitted to a process
+  pool, plus every module-local helper transitively reachable from one)
+  declares ``global``/``nonlocal``: writes to surviving state make the
+  result depend on what ran before in the same worker process — i.e. on
+  the scheduler's unit-to-worker assignment.
+- **PUR002** — a worker *reads* mutable module-level state (a module list/
+  dict/set).  Under the spawn start method each pool process re-imports the
+  module, so the worker sees the *import-time* value, not the parent's —
+  two different answers for ``jobs=1`` vs ``jobs=N`` the moment the parent
+  mutates it.
+- **PUR003** — the callable handed to ``pool.map``/``submit`` is a lambda
+  or a nested function: those pickle by qualified name and fail (or worse,
+  resolve to something else) in the worker.  Module-level functions — the
+  ``_run_unit_star`` trampoline idiom — pickle by reference and are the
+  only locally-defined callables that survive the trip.
+
+Worker roots are found per module: any ``def run_unit`` plus every
+module-local function submitted to a pool; reachability runs on the
+module-local call graph (:mod:`repro.analysis.callgraph`), so helpers a
+worker calls inherit its obligations.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.callgraph import CallGraph, FunctionNode
+from repro.analysis.engine import LintContext, Rule, register, scopes, walk_scope
+
+#: Functions that are worker entry points by convention, wherever defined.
+_WORKER_NAMES = frozenset({"run_unit"})
+
+#: Constructors whose instances hand work to other processes.
+_POOL_FACTORIES = frozenset({"ProcessPoolExecutor", "Pool"})
+
+#: Pool methods whose first argument is the callable shipped to workers.
+_SUBMIT_METHODS = frozenset(
+    {"map", "submit", "apply", "apply_async", "starmap", "imap", "imap_unordered"}
+)
+
+#: Module-level value expressions that create mutable containers.
+_MUTABLE_DISPLAYS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_FACTORIES = frozenset(
+    {"list", "dict", "set", "bytearray", "defaultdict", "deque", "Counter", "OrderedDict"}
+)
+
+
+def _is_pool_factory(func: ast.expr) -> bool:
+    if isinstance(func, ast.Name):
+        return func.id in _POOL_FACTORIES
+    if isinstance(func, ast.Attribute):
+        return func.attr in _POOL_FACTORIES
+    return False
+
+
+def _pool_names(scope: ast.AST) -> set[str]:
+    """Names bound to a process pool inside ``scope`` (with-as or assignment)."""
+    names: set[str] = set()
+    for node in walk_scope(scope):
+        if isinstance(node, ast.withitem):
+            if (
+                isinstance(node.context_expr, ast.Call)
+                and _is_pool_factory(node.context_expr.func)
+                and isinstance(node.optional_vars, ast.Name)
+            ):
+                names.add(node.optional_vars.id)
+        elif isinstance(node, ast.Assign):
+            if (
+                isinstance(node.value, ast.Call)
+                and _is_pool_factory(node.value.func)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                names.add(node.targets[0].id)
+    return names
+
+
+def _submissions(
+    tree: ast.Module, cg: CallGraph
+) -> Iterator[tuple[str | None, ast.Call, ast.expr]]:
+    """Every pool submission: (enclosing function qualname, call, callable arg)."""
+    for scope in scopes(tree):
+        pools = _pool_names(scope)
+        if not pools:
+            continue
+        caller = None if isinstance(scope, ast.Module) else cg.qualname_of(scope)
+        for node in walk_scope(scope):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in _SUBMIT_METHODS
+                and isinstance(node.func.value, ast.Name)
+                and node.func.value.id in pools
+                and node.args
+            ):
+                yield caller, node, node.args[0]
+
+
+def _worker_roots(tree: ast.Module, cg: CallGraph) -> list[str]:
+    """Qualnames of the module's worker entry points (conventional + submitted)."""
+    roots: set[str] = set()
+    for name in _WORKER_NAMES:
+        roots.update(cg.named(name))
+    for caller, _call, target in _submissions(tree, cg):
+        if isinstance(target, ast.Name):
+            resolved = cg.resolve_name(caller, target.id)
+            if resolved is not None:
+                roots.add(resolved)
+    return sorted(roots)
+
+
+def _worker_functions(
+    tree: ast.Module, cg: CallGraph
+) -> list[tuple[str, FunctionNode]]:
+    roots = _worker_roots(tree, cg)
+    return [(q, cg.functions[q]) for q in sorted(cg.reachable_from(roots))]
+
+
+@register
+class WorkerGlobalWriteRule(Rule):
+    """Workers and their helpers may not declare ``global``/``nonlocal``."""
+
+    rule_id = "PUR001"
+    name = "worker-global-write"
+    summary = "global/nonlocal declaration in a process-pool worker"
+    rationale = (
+        "A worker that writes surviving state makes a unit's result depend "
+        "on which units ran before it in the same process — exactly the "
+        "unit-to-worker assignment the jobs=N bit-identity contract says "
+        "must be unobservable.  Thread state through arguments and returns."
+    )
+    include = ("repro",)
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> None:
+        cg = ctx.callgraph()
+        for qualname, func in _worker_functions(tree, cg):
+            for node in walk_scope(func):
+                if isinstance(node, (ast.Global, ast.Nonlocal)):
+                    kind = "global" if isinstance(node, ast.Global) else "nonlocal"
+                    ctx.report(
+                        self,
+                        node,
+                        f"worker `{qualname}` declares `{kind} "
+                        f"{', '.join(node.names)}`; workers must be pure "
+                        "functions of their arguments",
+                    )
+
+
+@register
+class WorkerModuleStateRule(Rule):
+    """Workers may not read mutable module-level state."""
+
+    rule_id = "PUR002"
+    name = "worker-module-state"
+    summary = "process-pool worker reads a mutable module-level container"
+    rationale = (
+        "Spawned workers re-import the module, so a module-level list/dict/"
+        "set holds its import-time value there — any parent-side mutation "
+        "is invisible, and jobs=1 vs jobs=N diverge silently.  Pass the "
+        "data as an argument (it then pickles with the work unit)."
+    )
+    include = ("repro",)
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> None:
+        mutable = self._mutable_module_names(tree)
+        if not mutable:
+            return
+        cg = ctx.callgraph()
+        for qualname, func in _worker_functions(tree, cg):
+            local = self._local_names(func)
+            for node in walk_scope(func):
+                if (
+                    isinstance(node, ast.Name)
+                    and isinstance(node.ctx, ast.Load)
+                    and node.id in mutable
+                    and node.id not in local
+                ):
+                    ctx.report(
+                        self,
+                        node,
+                        f"worker `{qualname}` reads mutable module state "
+                        f"`{node.id}`; spawned workers see the import-time "
+                        "value — pass it as an argument instead",
+                    )
+
+    @staticmethod
+    def _mutable_module_names(tree: ast.Module) -> set[str]:
+        names: set[str] = set()
+        for stmt in tree.body:
+            target: ast.expr | None = None
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                target, value = stmt.target, stmt.value
+            if not (isinstance(target, ast.Name) and value is not None):
+                continue
+            if isinstance(value, _MUTABLE_DISPLAYS) or (
+                isinstance(value, ast.Call)
+                and isinstance(value.func, ast.Name)
+                and value.func.id in _MUTABLE_FACTORIES
+            ):
+                names.add(target.id)
+        return names
+
+    @staticmethod
+    def _local_names(func: FunctionNode) -> set[str]:
+        args = func.args
+        names = {
+            a.arg
+            for a in (*args.posonlyargs, *args.args, *args.kwonlyargs)
+        }
+        for special in (args.vararg, args.kwarg):
+            if special is not None:
+                names.add(special.arg)
+        declared_global: set[str] = set()
+        for node in walk_scope(func):
+            if isinstance(node, (ast.Global, ast.Nonlocal)):
+                declared_global.update(node.names)
+            elif isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                names.add(node.id)
+        return names - declared_global
+
+
+@register
+class UnpicklableSubmissionRule(Rule):
+    """Pool submissions must be module-level callables."""
+
+    rule_id = "PUR003"
+    name = "unpicklable-submission"
+    summary = "lambda or nested function submitted to a process pool"
+    rationale = (
+        "Process pools pickle the callable by qualified name; lambdas and "
+        "nested functions have no importable name and fail at submission "
+        "time — or only on the pool path, which jobs=1 test runs never "
+        "exercise.  Use a module-level trampoline like _run_unit_star."
+    )
+    include = ("repro",)
+
+    def check(self, tree: ast.Module, ctx: LintContext) -> None:
+        cg = ctx.callgraph()
+        for caller, call, target in _submissions(tree, cg):
+            if isinstance(target, ast.Lambda):
+                ctx.report(
+                    self,
+                    target,
+                    "lambda submitted to a process pool cannot pickle; "
+                    "define a module-level function",
+                )
+            elif isinstance(target, ast.Name):
+                resolved = cg.resolve_name(caller, target.id)
+                if resolved is not None and "." in resolved:
+                    ctx.report(
+                        self,
+                        target,
+                        f"`{target.id}` resolves to nested function "
+                        f"`{resolved}`, which cannot pickle into pool "
+                        "workers; hoist it to module level",
+                    )

@@ -1,33 +1,25 @@
 """Transaction-safety rules for the link-schedule undo log (PR 3).
 
 ``LinkScheduleState`` keeps rollback correct by recording an inverse for
-every write *inside its public write methods*.  Three things can silently
-break that contract:
+every write *inside its public write methods*.  The representation rule
+lives here: touching the private containers (``_queues``/``_routes``/
+``_next_link``/``_undo``) from outside ``state.py`` bypasses the undo log
+and corrupts any open transaction (reads are also flagged: they couple
+callers to the representation and must be justified in the baseline, as
+the Lemma-2 slack scan in ``optimal_insertion.py`` is).
 
-- touching the private containers (``_queues``/``_routes``/``_next_link``/
-  ``_undo``) from outside ``state.py`` — a write there bypasses the undo log
-  and corrupts any open transaction (reads are also flagged: they couple
-  callers to the representation and must be justified in the baseline, as
-  the Lemma-2 slack scan in ``optimal_insertion.py`` is);
-- opening a transaction (``.begin()``) in a function that can exit without
-  ``commit()`` or ``rollback()`` — the state then rejects the next
-  ``begin()`` and every later probe fails;
-- calling ``rollback()`` outside a ``finally`` (or ``except``) block — an
-  exception between ``begin()`` and the rollback leaks the transaction.
+Transaction *balance* — every ``begin()`` reaching a ``commit()`` or
+``rollback()`` on every path — used to be approximated syntactically here
+as TXN002/TXN003.  Those were retired for the flow-sensitive TXN101–103 in
+:mod:`repro.analysis.rules.txnflow`, which check the property on the CFG,
+exception edges included.
 """
 
 from __future__ import annotations
 
 import ast
 
-from repro.analysis.engine import (
-    LintContext,
-    Rule,
-    dotted,
-    register,
-    scopes,
-    walk_scope,
-)
+from repro.analysis.engine import LintContext, Rule, dotted, register
 
 #: Private containers of LinkScheduleState; writes outside state.py bypass
 #: the undo log, reads freeze the representation.
@@ -83,88 +75,3 @@ class StateInternalsRule(Rule):
                     "_LinkQueue is private to linksched/state.py; import the "
                     "public LinkScheduleState API instead",
                 )
-
-
-@register
-class UnbalancedTransactionRule(Rule):
-    """Every ``begin()`` needs a lexical ``commit()`` or ``rollback()``."""
-
-    rule_id = "TXN002"
-    name = "unbalanced-transaction"
-    summary = ".begin() with no commit()/rollback() on the same receiver in the function"
-    rationale = (
-        "Transactions do not nest: a begin() that can leak makes the next "
-        "probe's begin() raise and leaves tentative slots booked.  The probe "
-        "idiom is begin / try / finally rollback (see BAScheduler)."
-    )
-    include = ("repro",)
-
-    def check(self, tree: ast.Module, ctx: LintContext) -> None:
-        for scope in scopes(tree):
-            if isinstance(scope, ast.Module):
-                continue
-            begins: list[tuple[ast.Call, str]] = []
-            closers: set[str] = set()
-            for node in walk_scope(scope):
-                if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
-                    continue
-                receiver = dotted(node.func.value)
-                if node.func.attr == "begin" and not node.args and not node.keywords:
-                    begins.append((node, receiver))
-                elif node.func.attr in ("commit", "rollback"):
-                    closers.add(receiver)
-            for call, receiver in begins:
-                if receiver not in closers:
-                    ctx.report(
-                        self,
-                        call,
-                        f"`{receiver}.begin()` opens a transaction but this "
-                        "function has no matching commit()/rollback(); wrap "
-                        "the tentative work in try/finally",
-                    )
-
-
-@register
-class RollbackInFinallyRule(Rule):
-    """``rollback()`` must be exception-safe: ``finally`` or ``except`` only."""
-
-    rule_id = "TXN003"
-    name = "rollback-not-exception-safe"
-    summary = ".rollback() outside a finally/except block"
-    rationale = (
-        "A rollback on the straight-line path is skipped when the tentative "
-        "booking raises (e.g. a SchedulingError mid-probe), leaking the "
-        "transaction and the probe's slots into the committed schedule."
-    )
-    include = ("repro",)
-
-    def check(self, tree: ast.Module, ctx: LintContext) -> None:
-        for node in ast.walk(tree):
-            if not (
-                isinstance(node, ast.Call)
-                and isinstance(node.func, ast.Attribute)
-                and node.func.attr == "rollback"
-            ):
-                continue
-            if not self._exception_safe(node, ctx):
-                ctx.report(
-                    self,
-                    node,
-                    f"`{dotted(node.func.value)}.rollback()` is not in a "
-                    "finally/except block; an exception mid-probe leaks the "
-                    "open transaction",
-                )
-
-    @staticmethod
-    def _exception_safe(node: ast.AST, ctx: LintContext) -> bool:
-        child: ast.AST = node
-        parent = ctx.parent(child)
-        while parent is not None and not isinstance(
-            parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Module)
-        ):
-            if isinstance(parent, ast.ExceptHandler):
-                return True
-            if isinstance(parent, ast.Try) and child in parent.finalbody:
-                return True
-            child, parent = parent, ctx.parent(parent)
-        return False

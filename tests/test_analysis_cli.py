@@ -71,9 +71,20 @@ class TestOutput:
     def test_json_format(self, firing_tree, capsys):
         lint("--no-baseline", "--format", "json", str(firing_tree / "src"))
         doc = json.loads(capsys.readouterr().out)
+        assert doc["schema_version"] == 2
+        assert "FLT001" in doc["rules"]
         assert doc["summary"]["findings"] == 1
         assert doc["findings"][0]["rule"] == "FLT001"
         assert doc["findings"][0]["snippet"] == "return a == b"
+
+    def test_output_file_written_regardless_of_format(self, firing_tree, capsys):
+        report = firing_tree / "lint.json"
+        lint("--no-baseline", "--output", str(report), str(firing_tree / "src"))
+        out = capsys.readouterr().out
+        assert "{" not in out  # stdout stayed in text format
+        doc = json.loads(report.read_text())
+        assert doc["schema_version"] == 2
+        assert doc["summary"]["findings"] == 1
 
     def test_select_and_ignore(self, firing_tree, capsys):
         assert lint(
@@ -132,6 +143,73 @@ class TestBaseline:
         baseline = firing_tree / "baseline.json"
         baseline.write_text("{\"version\": 99}")
         assert lint("--baseline", str(baseline), str(firing_tree / "src")) == 2
+
+
+class TestStaleClassification:
+    """Renames, subset runs, and ``--update-baseline`` pruning."""
+
+    def _seed(self, firing_tree):
+        baseline = firing_tree / "baseline.json"
+        lint("--baseline", str(baseline), "--write-baseline",
+             str(firing_tree / "src"))
+        return baseline
+
+    def test_renamed_file_orphans_entry(self, firing_tree, capsys):
+        baseline = self._seed(firing_tree)
+        sample = firing_tree / "src" / "repro" / "core" / "sample.py"
+        sample.rename(sample.with_name("renamed.py"))
+        assert lint("--baseline", str(baseline), str(firing_tree / "src")) == 1
+        err = capsys.readouterr().err
+        assert "no longer exists" in err
+        assert "--update-baseline" in err
+
+    def test_orphaned_entry_has_json_status(self, firing_tree, capsys):
+        baseline = self._seed(firing_tree)
+        sample = firing_tree / "src" / "repro" / "core" / "sample.py"
+        sample.rename(sample.with_name("renamed.py"))
+        lint("--baseline", str(baseline), "--format", "json",
+             str(firing_tree / "src"))
+        doc = json.loads(capsys.readouterr().out)
+        # The renamed copy fires fresh; the old entry is orphaned.
+        assert doc["summary"]["findings"] == 1
+        assert [e["status"] for e in doc["stale_baseline"]] == ["orphaned"]
+
+    def test_update_baseline_prunes_orphans(self, firing_tree, capsys):
+        baseline = self._seed(firing_tree)
+        sample = firing_tree / "src" / "repro" / "core" / "sample.py"
+        sample.write_text(CLEAN)
+        sample.with_name("gone.py").write_text(FIRING)
+        lint("--baseline", str(baseline), "--write-baseline",
+             str(firing_tree / "src"))
+        (firing_tree / "src" / "repro" / "core" / "gone.py").unlink()
+        code = lint("--baseline", str(baseline), "--update-baseline",
+                    str(firing_tree / "src"))
+        assert code == 0
+        assert "pruned 1 stale entry" in capsys.readouterr().err
+        assert json.loads(baseline.read_text())["entries"] == []
+        # The pruned baseline is durable: the next plain run is clean.
+        assert lint("--baseline", str(baseline), str(firing_tree / "src")) == 0
+
+    def test_rule_subset_run_leaves_entries_unchecked(self, firing_tree, capsys):
+        baseline = self._seed(firing_tree)
+        sample = firing_tree / "src" / "repro" / "core" / "sample.py"
+        sample.write_text(CLEAN)  # full run would flag the entry as changed
+        code = lint("--baseline", str(baseline), "--select", "DET001",
+                    str(firing_tree / "src"))
+        assert code == 0
+        assert "stale" not in capsys.readouterr().err
+
+    def test_path_subset_run_leaves_entries_unchecked(self, firing_tree, capsys):
+        baseline = self._seed(firing_tree)
+        other = firing_tree / "src" / "repro" / "utils"
+        other.mkdir()
+        (other / "misc.py").write_text("X = 1\n")
+        code = lint("--baseline", str(baseline), str(other))
+        assert code == 0
+        lint("--baseline", str(baseline), "--format", "json", str(other))
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["summary"]["unchecked_baseline"] == 1
+        assert doc["stale_baseline"] == []
 
 
 class TestRepoIsClean:

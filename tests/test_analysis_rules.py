@@ -467,22 +467,55 @@ class TestStateInternals:
         assert len(found) == 1
 
 
-class TestUnbalancedTransaction:
-    def test_begin_without_closer_fires(self):
+class TestTransactionBalance:
+    """TXN101: begin() must reach a closer on every path."""
+
+    def test_exception_edge_leak_fires(self):
+        # No try/finally: if find_gap raises, the transaction leaks.
         found = run_rule(
-            "TXN002",
+            "TXN101",
             """
             def probe(state) -> float:
                 state.begin()
-                return state.find_gap(0, 1.0, 0.0, 0.0)[1]
+                best = state.find_gap(0, 1.0, 0.0, 0.0)[1]
+                state.rollback()
+                return best
             """,
         )
         assert len(found) == 1
-        assert "begin()" in found[0].message
+        assert "exception edges count" in found[0].message
 
-    def test_begin_with_finally_rollback_is_clean(self):
+    def test_early_return_leak_fires(self):
+        found = run_rule(
+            "TXN101",
+            """
+            def probe(state, skip) -> float:
+                state.begin()
+                if skip:
+                    return 0.0
+                state.rollback()
+                return 1.0
+            """,
+        )
+        assert len(found) == 1
+
+    def test_break_leak_fires(self):
+        found = run_rule(
+            "TXN101",
+            """
+            def scan(state, slots) -> None:
+                for slot in slots:
+                    state.begin()
+                    if slot.bad:
+                        break
+                    state.rollback()
+            """,
+        )
+        assert len(found) == 1
+
+    def test_finally_rollback_is_clean(self):
         assert not run_rule(
-            "TXN002",
+            "TXN101",
             """
             def probe(state) -> float:
                 state.begin()
@@ -493,9 +526,29 @@ class TestUnbalancedTransaction:
             """,
         )
 
-    def test_begin_with_commit_is_clean(self):
+    def test_probe_loop_idiom_is_clean(self):
+        # The ba.py shape: begin/try/finally-rollback per loop iteration.
         assert not run_rule(
-            "TXN002",
+            "TXN101",
+            """
+            def best_probe(state, slots) -> float:
+                best = 0.0
+                for slot in slots:
+                    state.begin()
+                    try:
+                        span = state.probe(slot)
+                        if span > best:
+                            best = span
+                    finally:
+                        state.rollback()
+                return best
+            """,
+        )
+
+    def test_straight_line_commit_is_clean(self):
+        # Nothing between begin and commit can raise — no leak path.
+        assert not run_rule(
+            "TXN101",
             """
             def book(state) -> None:
                 state.begin()
@@ -503,45 +556,402 @@ class TestUnbalancedTransaction:
             """,
         )
 
-
-class TestRollbackInFinally:
-    def test_straight_line_rollback_fires(self):
+    def test_other_receivers_closer_does_not_count(self):
         found = run_rule(
-            "TXN003",
+            "TXN101",
             """
-            def probe(state) -> None:
-                state.begin()
+            def probe(a, b) -> None:
+                a.begin()
+                b.commit()
+            """,
+        )
+        assert len(found) == 1
+
+
+class TestJournalMarkBalance:
+    """TXN102: local snapshot()/journal_mark() must be restored on all paths."""
+
+    def test_early_return_drop_fires(self):
+        found = run_rule(
+            "TXN102",
+            """
+            def trial(cols, cand) -> float:
+                mark = cols.snapshot()
+                if not feasible(cand):
+                    return -1.0
+                cols.restore(mark)
+                return 0.0
+            """,
+        )
+        assert len(found) == 1
+        assert "mark" in found[0].message
+
+    def test_finally_restore_is_clean(self):
+        assert not run_rule(
+            "TXN102",
+            """
+            def trial(cols, cand) -> float:
+                mark = cols.snapshot()
+                try:
+                    return score(cols, cand)
+                finally:
+                    cols.restore(mark)
+            """,
+        )
+
+    def test_journal_mark_rollback_to_is_clean(self):
+        assert not run_rule(
+            "TXN102",
+            """
+            def trial(state, cand) -> float:
+                mark = state.journal_mark()
+                try:
+                    return score(state, cand)
+                finally:
+                    state.rollback_to(mark)
+            """,
+        )
+
+    def test_escaping_mark_is_exempt(self):
+        # The incremental evaluators' checkpoint lists: marks stored for a
+        # later cross-call rewind are not per-function balance.
+        assert not run_rule(
+            "TXN102",
+            """
+            def checkpoint(cols, lmarks) -> None:
+                mark = cols.snapshot()
+                lmarks.append(mark)
+            """,
+        )
+
+    def test_returned_mark_is_exempt(self):
+        assert not run_rule(
+            "TXN102",
+            """
+            def open_trial(cols) -> int:
+                mark = cols.snapshot()
+                return mark
+            """,
+        )
+
+    def test_restore_on_other_receiver_does_not_count(self):
+        found = run_rule(
+            "TXN102",
+            """
+            def trial(a, b) -> None:
+                mark = a.snapshot()
+                try:
+                    pass
+                finally:
+                    b.restore(mark)
+            """,
+        )
+        assert len(found) == 1
+
+
+class TestCloserWithoutBegin:
+    """TXN103: a closer must be dominated by a begin() on its receiver."""
+
+    def test_branch_only_begin_fires(self):
+        found = run_rule(
+            "TXN103",
+            """
+            def finish(state, fresh) -> None:
+                if fresh:
+                    state.begin()
+                state.commit()
+            """,
+        )
+        assert len(found) == 1
+        assert "no `state.begin()` ran" in found[0].message
+
+    def test_closer_with_no_begin_fires(self):
+        found = run_rule(
+            "TXN103",
+            """
+            def cleanup(state) -> None:
                 state.rollback()
             """,
         )
         assert len(found) == 1
-        assert "finally" in found[0].message
+        assert "never opens" in found[0].message
 
-    def test_finally_rollback_is_clean(self):
+    def test_dominating_begin_is_clean(self):
         assert not run_rule(
-            "TXN003",
+            "TXN103",
             """
-            def probe(state) -> None:
+            def book(state, ok) -> None:
                 state.begin()
-                try:
-                    pass
-                finally:
+                if ok:
+                    state.commit()
+                else:
                     state.rollback()
             """,
         )
 
-    def test_except_rollback_is_clean(self):
+    def test_probe_loop_idiom_is_clean(self):
         assert not run_rule(
-            "TXN003",
+            "TXN103",
             """
-            def book(state) -> None:
-                state.begin()
-                try:
-                    state.commit()
-                except Exception:
-                    state.rollback()
-                    raise
+            def best_probe(state, slots) -> None:
+                for slot in slots:
+                    state.begin()
+                    try:
+                        state.probe(slot)
+                    finally:
+                        state.rollback()
             """,
+        )
+
+
+EXPERIMENTS_SAMPLE = "src/repro/experiments/sample.py"
+
+
+class TestWorkerGlobalWrite:
+    def test_global_in_worker_fires(self):
+        found = run_rule(
+            "PUR001",
+            """
+            COUNT = 0
+
+            def run_unit(config, unit):
+                global COUNT
+                COUNT += 1
+                return COUNT
+            """,
+            path=EXPERIMENTS_SAMPLE,
+        )
+        assert len(found) == 1
+        assert "global COUNT" in found[0].message
+
+    def test_transitive_helper_inherits_obligation(self):
+        found = run_rule(
+            "PUR001",
+            """
+            TOTAL = 0
+
+            def _bump():
+                global TOTAL
+                TOTAL += 1
+
+            def run_unit(config, unit):
+                _bump()
+                return TOTAL
+            """,
+            path=EXPERIMENTS_SAMPLE,
+        )
+        assert len(found) == 1
+        assert "_bump" in found[0].message
+
+    def test_non_worker_global_is_ignored(self):
+        assert not run_rule(
+            "PUR001",
+            """
+            COUNT = 0
+
+            def parent_only_tally():
+                global COUNT
+                COUNT += 1
+            """,
+            path=EXPERIMENTS_SAMPLE,
+        )
+
+    def test_pure_worker_is_clean(self):
+        assert not run_rule(
+            "PUR001",
+            """
+            def run_unit(config, unit):
+                return config.score(unit)
+            """,
+            path=EXPERIMENTS_SAMPLE,
+        )
+
+
+class TestWorkerModuleState:
+    def test_mutable_module_read_fires(self):
+        found = run_rule(
+            "PUR002",
+            """
+            CACHE = {}
+
+            def run_unit(config, unit):
+                return CACHE.get(unit)
+            """,
+            path=EXPERIMENTS_SAMPLE,
+        )
+        assert len(found) == 1
+        assert "CACHE" in found[0].message
+
+    def test_shadowing_local_is_clean(self):
+        assert not run_rule(
+            "PUR002",
+            """
+            CACHE = {}
+
+            def run_unit(config, unit):
+                CACHE = {}
+                return CACHE.get(unit)
+            """,
+            path=EXPERIMENTS_SAMPLE,
+        )
+
+    def test_immutable_module_constant_is_clean(self):
+        assert not run_rule(
+            "PUR002",
+            """
+            ALGORITHMS = ("bl-est", "oihsa")
+
+            def run_unit(config, unit):
+                return ALGORITHMS[0]
+            """,
+            path=EXPERIMENTS_SAMPLE,
+        )
+
+
+class TestUnpicklableSubmission:
+    def test_lambda_submission_fires(self):
+        found = run_rule(
+            "PUR003",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def drive(work):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(lambda u: u, work))
+            """,
+            path=EXPERIMENTS_SAMPLE,
+        )
+        assert len(found) == 1
+        assert "lambda" in found[0].message
+
+    def test_nested_function_submission_fires(self):
+        found = run_rule(
+            "PUR003",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def drive(work):
+                def inner(u):
+                    return u
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(inner, work))
+            """,
+            path=EXPERIMENTS_SAMPLE,
+        )
+        assert len(found) == 1
+        assert "drive.inner" in found[0].message
+
+    def test_module_level_trampoline_is_clean(self):
+        assert not run_rule(
+            "PUR003",
+            """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def _star(args):
+                return args
+
+            def drive(work):
+                with ProcessPoolExecutor() as pool:
+                    return list(pool.map(_star, work))
+            """,
+            path=EXPERIMENTS_SAMPLE,
+        )
+
+
+class TestKernelRules:
+    """KER001-004 apply only to hot functions of the kernel files."""
+
+    def test_kwargs_signature_fires(self):
+        found = run_rule(
+            "KER001",
+            """
+            def _resimulate(cand, start, **opts):
+                pass
+            """,
+            path="src/repro/core/batch.py",
+        )
+        assert len(found) == 1
+        assert "**opts" in found[0].message
+
+    def test_call_splat_fires(self):
+        found = run_rule(
+            "KER001",
+            """
+            def restore(self, mark):
+                self.pop(*mark)
+            """,
+            path="src/repro/linksched/arraystate.py",
+        )
+        assert len(found) == 1
+
+    def test_getattr_fires(self):
+        found = run_rule(
+            "KER002",
+            """
+            def snapshot(self):
+                return len(getattr(self, "journal_index"))
+            """,
+            path="src/repro/linksched/arraystate.py",
+        )
+        assert len(found) == 1
+
+    def test_nested_lambda_fires(self):
+        found = run_rule(
+            "KER003",
+            """
+            def makespan(self):
+                return max(self.finish, key=lambda f: f)
+            """,
+            path="src/repro/linksched/arraystate.py",
+        )
+        assert len(found) == 1
+
+    def test_generator_expression_fires(self):
+        found = run_rule(
+            "KER004",
+            """
+            def makespan(self):
+                return max(f for f in self.finish)
+            """,
+            path="src/repro/linksched/arraystate.py",
+        )
+        assert len(found) == 1
+
+    def test_hot_set_follows_module_local_calls(self):
+        # _route_plan is hot because _resimulate calls it.
+        found = run_rule(
+            "KER004",
+            """
+            class Evaluator:
+                def _route_plan(self, src, dst):
+                    return list(l for l in self.route(src, dst))
+
+                def _resimulate(self, cand, start):
+                    self._route_plan(0, 1)
+            """,
+            path="src/repro/core/batch.py",
+        )
+        assert len(found) == 1
+        assert "_route_plan" in found[0].message
+
+    def test_cold_functions_are_exempt(self):
+        assert not run_rule(
+            "KER004",
+            """
+            def booked_links(self):
+                return sorted(lid for lid in self._columns)
+            """,
+            path="src/repro/linksched/arraystate.py",
+        )
+
+    def test_rules_scoped_to_kernel_files(self):
+        assert not run_rule(
+            "KER004",
+            """
+            def makespan(self):
+                return max(f for f in self.finish)
+            """,
+            path=CORE,
         )
 
 

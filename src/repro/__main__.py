@@ -166,12 +166,27 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
                   "--backend does not apply")
             return 2
         kwargs["backend"] = args.backend
+    if args.eval_kernel is not None:
+        if not is_search:
+            print("--eval-kernel only applies to the mapping-search "
+                  "schedulers (annealing, genetic)")
+            return 2
+        if args.no_incremental or args.backend == "object":
+            print("--eval-kernel selects the array backend's hot loop; "
+                  "it does not apply to the object/full evaluation paths")
+            return 2
+        kwargs["kernel"] = args.eval_kernel
     # What actually scores candidates, for --stats / the run ledger.
     backend_used = None
+    kernel_used = None
     if is_search:
         backend_used = (
             "full" if args.no_incremental else (args.backend or "array")
         )
+        if backend_used == "array":
+            from repro.core.kernelreg import active_kernel
+
+            kernel_used = active_kernel(args.eval_kernel or "auto")
     t0 = perf_counter()
     try:
         schedule = SCHEDULERS[args.algorithm](**kwargs).schedule(graph, net)
@@ -187,6 +202,8 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
     print(schedule_report(schedule, gantt=not args.no_gantt))
     if want_stats and backend_used is not None:
         line = f"evaluation backend: {backend_used}"
+        if kernel_used is not None:
+            line += f", kernel: {kernel_used}"
         if stats is not None:
             batches = stats.counter("mapping.batch_evaluations")
             if batches:
@@ -204,6 +221,7 @@ def _cmd_schedule(args: argparse.Namespace) -> int:
                 **_workload_fingerprint_doc(args, "schedule"),
                 "incremental": not args.no_incremental,
                 "backend": backend_used,
+                "eval_kernel": kernel_used,
             },
             argv=getattr(args, "_argv", []),
             makespans={args.algorithm: schedule.makespan},
@@ -612,14 +630,21 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     for name in args.algorithms:
         scheduler = SCHEDULERS[name]()
         # The mapping searches score candidates through a pluggable
-        # evaluation backend; report it so profile rows are attributable.
+        # evaluation backend; report it (and the active array-kernel
+        # implementation) so profile rows are attributable.
         backend = getattr(scheduler, "backend", None) or "-"
+        kwargs = {}
+        if backend == "array":
+            from repro.core.kernelreg import active_kernel
+
+            kwargs["kernel"] = args.eval_kernel
+            backend += f"/{active_kernel(args.eval_kernel)}"
         obs.enable(obs.NullSink())
         obs.reset()
         t0 = perf_counter()
         try:
             for _ in range(args.repeat):
-                schedule = SCHEDULERS[name]().schedule(graph, net)
+                schedule = SCHEDULERS[name](**kwargs).schedule(graph, net)
             wall = perf_counter() - t0
             stats = schedule.stats
         finally:
@@ -787,6 +812,14 @@ def build_parser() -> argparse.ArgumentParser:
         "'object' uses the per-slot object substrate (annealing/genetic "
         "only; results are bit-identical either way)",
     )
+    p.add_argument(
+        "--eval-kernel", choices=("auto", "python", "compiled"), default=None,
+        help="implementation of the array backend's scoring hot loop: "
+        "'auto' (default) uses the AOT-compiled extension when built, "
+        "'python' forces the reference loop, 'compiled' requires the "
+        "extension (annealing/genetic only; kernels are bit-identical — "
+        "named --eval-kernel because --kernel selects task-graph kernels)",
+    )
     _add_runlog_arguments(p)
     p.set_defaults(fn=_cmd_schedule)
 
@@ -929,6 +962,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--ccr", type=float, default=2.0)
     p.add_argument("--seed", type=int, default=1)
     p.add_argument("--repeat", type=int, default=1, help="runs to average over")
+    p.add_argument(
+        "--eval-kernel", choices=("auto", "python", "compiled"), default="auto",
+        help="array-backend scoring kernel for the mapping-search rows "
+        "(bit-identical; the active kernel shows in the backend column)",
+    )
     p.set_defaults(fn=_cmd_profile)
 
     p = sub.add_parser("ablation", help="run a design-choice ablation")

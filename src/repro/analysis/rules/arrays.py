@@ -1,7 +1,7 @@
 """Array-discipline rule: no per-element Python loops over the flat columns.
 
-The batched evaluation kernel (:mod:`repro.core.batch` on
-:mod:`repro.linksched.arraystate`) gets its speed from treating link and
+The batched evaluation kernel (:mod:`repro.core.batch` driving
+:mod:`repro.core._kernel`) gets its speed from treating link and
 processor state as flat parallel columns manipulated by *bulk* primitives:
 ``bisect`` for positioning, point ``insert``/``del`` for bookings, slicing
 for journal truncation, ``max`` for reductions.  A hand-rolled ``for`` loop
@@ -22,9 +22,13 @@ import ast
 
 from repro.analysis.engine import LintContext, Rule, register
 
-#: The files holding the array-native hot paths.
+#: The files holding the array-native hot paths.  ``_kernel.py`` is the
+#: extracted hot loop (the module the optional AOT build compiles);
+#: ``arraystate.py`` stays listed as its re-export shim and ``batch.py``
+#: as the driving evaluator.
 ARRAY_KERNEL_FILES = (
     "repro/linksched/arraystate.py",
+    "repro/core/_kernel.py",
     "repro/core/batch.py",
 )
 

@@ -10,9 +10,11 @@ plain interpreter overhead on exactly the lines profiled as hot.
 
 The *hot set* is computed, not annotated: conventional roots
 (``_resimulate``, ``restore``, ``snapshot``, ``makespan``) plus everything
-they transitively call module-locally (e.g. ``_route_plan``), via
-:mod:`repro.analysis.callgraph`.  Scope is pinned to the two kernel files —
-these rules are deliberately too strict for ordinary code.
+they transitively call module-locally, via
+:mod:`repro.analysis.callgraph`.  Scope is pinned to the kernel files
+(``repro/core/_kernel.py`` — the module the optional AOT build compiles —
+plus its driver and re-export shim) — these rules are deliberately too
+strict for ordinary code.
 
 - **KER001** — static signatures and call shapes only: no ``*args`` /
   ``**kwargs`` parameters, no ``*``/``**`` splats at call sites.

@@ -1,0 +1,434 @@
+/* C translation of repro/core/_kernel.py — the batch-evaluation hot loop.
+ *
+ * This file is the compiled twin of PyKernel: the same state machine
+ * (per-link parallel start/finish columns with a positional undo journal,
+ * dense processor finish column, divergence rewind + suffix re-simulation)
+ * performing the exact same IEEE-754 double operations in the same order.
+ * CPython floats are C doubles, so compiling with a standards-conforming
+ * toolchain (no -ffast-math, SSE2 arithmetic — the x86-64 default) keeps
+ * every makespan bit-identical to the reference; the differential suite in
+ * tests/test_batch_equivalence.py and the scores_checksum CI gates enforce
+ * that contract.
+ *
+ * Built into the optional extension repro.core._kernel_c by
+ * repro/core/kernel_build.py (cffi, out-of-line API mode) and wrapped by
+ * repro/core/_kernel_cwrap.CKernel.  Keep this file in lockstep with the
+ * reference: any arithmetic change lands in _kernel.py first, here second,
+ * never in one place only.
+ */
+
+#include <stdlib.h>
+#include <string.h>
+
+/* One link's bookings: parallel (starts, finishes) columns sorted by
+ * start time, plus the shared length/capacity. */
+typedef struct {
+    double *starts;
+    double *finishes;
+    int n;
+    int cap;
+} kcol;
+
+typedef struct kstate {
+    int n;              /* order positions (tasks) */
+    int n_procs;
+    int cut_through;
+    double hop;
+    double *exec_flat;  /* n * n_procs, row-major weight/speed */
+    int *edge_src;      /* CSR in-edges: source position per edge */
+    double *edge_cost;  /* CSR in-edges: communication cost per edge */
+    int *edge_off;      /* n + 1 offsets into edge_src/edge_cost */
+    double *task_finish; /* n: finish time of the last simulated candidate */
+    double *proc_finish; /* n_procs: running finish per processor */
+    kcol *cols;         /* indexed directly by link id */
+    int n_cols;
+    /* Route plans, pooled: pair -> (offset, length) into plan_link/speed;
+     * plan_off[pair] < 0 means unresolved (the caller installs lazily). */
+    int *plan_off;
+    int *plan_len;
+    int *plan_link;
+    double *plan_speed;
+    int plan_n;
+    int plan_cap;
+    /* Link journal: (link id, insert index) per booking, newest last. */
+    int *jl_link;
+    int *jl_idx;
+    int jl_n;
+    int jl_cap;
+    /* Processor journal: exactly one (proc, old finish) per position. */
+    int *jp_proc;
+    double *jp_fin;
+    int jp_n;
+    /* Applied genome prefix + link-journal mark per applied position. */
+    int *applied;
+    int *lmarks;
+    int n_applied;
+} kstate;
+
+void ks_free(kstate *ks);  /* used by ks_new's failure path */
+
+/* -- growable-buffer helpers ---------------------------------------------- */
+
+static int grow_i(int **buf, int *cap, int need)
+{
+    int ncap;
+    int *nb;
+    if (need <= *cap)
+        return 0;
+    ncap = *cap > 0 ? *cap : 16;
+    while (ncap < need)
+        ncap *= 2;
+    nb = (int *)realloc(*buf, (size_t)ncap * sizeof(int));
+    if (nb == NULL)
+        return -1;
+    *buf = nb;
+    *cap = ncap;
+    return 0;
+}
+
+static int col_reserve(kcol *c, int need)
+{
+    int ncap;
+    double *nb;
+    if (need <= c->cap)
+        return 0;
+    ncap = c->cap > 0 ? c->cap : 8;
+    while (ncap < need)
+        ncap *= 2;
+    nb = (double *)realloc(c->starts, (size_t)ncap * sizeof(double));
+    if (nb == NULL)
+        return -1;
+    c->starts = nb;
+    nb = (double *)realloc(c->finishes, (size_t)ncap * sizeof(double));
+    if (nb == NULL)
+        return -1;
+    c->finishes = nb;
+    c->cap = ncap;
+    return 0;
+}
+
+/* Grow the link-column directory to cover lid (zero-filled new slots). */
+static int cols_cover(kstate *ks, int lid)
+{
+    kcol *nc;
+    if (lid < ks->n_cols)
+        return 0;
+    nc = (kcol *)realloc(ks->cols, (size_t)(lid + 1) * sizeof(kcol));
+    if (nc == NULL)
+        return -1;
+    memset(nc + ks->n_cols, 0, (size_t)(lid + 1 - ks->n_cols) * sizeof(kcol));
+    ks->cols = nc;
+    ks->n_cols = lid + 1;
+    return 0;
+}
+
+/* -- lifecycle ------------------------------------------------------------- */
+
+kstate *ks_new(int n, int n_procs, const double *exec_flat,
+               const int *edge_src, const double *edge_cost,
+               const int *edge_off, int cut_through, double hop)
+{
+    kstate *ks;
+    int n_edges, pairs, i;
+    ks = (kstate *)calloc(1, sizeof(kstate));
+    if (ks == NULL)
+        return NULL;
+    ks->n = n;
+    ks->n_procs = n_procs;
+    ks->cut_through = cut_through;
+    ks->hop = hop;
+    n_edges = edge_off[n];
+    pairs = n_procs * n_procs;
+    ks->exec_flat = (double *)malloc((size_t)(n * n_procs > 0 ? n * n_procs : 1) * sizeof(double));
+    ks->edge_src = (int *)malloc((size_t)(n_edges > 0 ? n_edges : 1) * sizeof(int));
+    ks->edge_cost = (double *)malloc((size_t)(n_edges > 0 ? n_edges : 1) * sizeof(double));
+    ks->edge_off = (int *)malloc((size_t)(n + 1) * sizeof(int));
+    ks->task_finish = (double *)calloc((size_t)(n > 0 ? n : 1), sizeof(double));
+    ks->proc_finish = (double *)calloc((size_t)n_procs, sizeof(double));
+    ks->plan_off = (int *)malloc((size_t)pairs * sizeof(int));
+    ks->plan_len = (int *)malloc((size_t)pairs * sizeof(int));
+    ks->jp_proc = (int *)malloc((size_t)(n > 0 ? n : 1) * sizeof(int));
+    ks->jp_fin = (double *)malloc((size_t)(n > 0 ? n : 1) * sizeof(double));
+    ks->applied = (int *)malloc((size_t)(n > 0 ? n : 1) * sizeof(int));
+    ks->lmarks = (int *)malloc((size_t)(n > 0 ? n : 1) * sizeof(int));
+    if (ks->exec_flat == NULL || ks->edge_src == NULL || ks->edge_cost == NULL
+        || ks->edge_off == NULL || ks->task_finish == NULL
+        || ks->proc_finish == NULL || ks->plan_off == NULL
+        || ks->plan_len == NULL || ks->jp_proc == NULL || ks->jp_fin == NULL
+        || ks->applied == NULL || ks->lmarks == NULL) {
+        ks_free(ks);
+        return NULL;
+    }
+    memcpy(ks->exec_flat, exec_flat, (size_t)(n * n_procs) * sizeof(double));
+    memcpy(ks->edge_src, edge_src, (size_t)n_edges * sizeof(int));
+    memcpy(ks->edge_cost, edge_cost, (size_t)n_edges * sizeof(double));
+    memcpy(ks->edge_off, edge_off, (size_t)(n + 1) * sizeof(int));
+    for (i = 0; i < pairs; i++)
+        ks->plan_off[i] = -1;
+    return ks;
+}
+
+void ks_free(kstate *ks)
+{
+    int i;
+    if (ks == NULL)
+        return;
+    free(ks->exec_flat);
+    free(ks->edge_src);
+    free(ks->edge_cost);
+    free(ks->edge_off);
+    free(ks->task_finish);
+    free(ks->proc_finish);
+    for (i = 0; i < ks->n_cols; i++) {
+        free(ks->cols[i].starts);
+        free(ks->cols[i].finishes);
+    }
+    free(ks->cols);
+    free(ks->plan_off);
+    free(ks->plan_len);
+    free(ks->plan_link);
+    free(ks->plan_speed);
+    free(ks->jl_link);
+    free(ks->jl_idx);
+    free(ks->jp_proc);
+    free(ks->jp_fin);
+    free(ks->applied);
+    free(ks->lmarks);
+    free(ks);
+}
+
+/* -- route plans ------------------------------------------------------------ */
+
+int ks_set_plan(kstate *ks, int pair, int n_links, const int *lids,
+                const double *speeds)
+{
+    int k;
+    if (grow_i(&ks->plan_link, &ks->plan_cap, ks->plan_n + n_links))
+        return -1;
+    /* plan_speed shares plan_cap's growth schedule; reserve it to match. */
+    if (ks->plan_cap > 0) {
+        double *nb = (double *)realloc(ks->plan_speed,
+                                       (size_t)ks->plan_cap * sizeof(double));
+        if (nb == NULL)
+            return -1;
+        ks->plan_speed = nb;
+    }
+    for (k = 0; k < n_links; k++) {
+        if (cols_cover(ks, lids[k]))
+            return -1;
+        ks->plan_link[ks->plan_n + k] = lids[k];
+        ks->plan_speed[ks->plan_n + k] = speeds[k];
+    }
+    ks->plan_off[pair] = ks->plan_n;
+    ks->plan_len[pair] = n_links;
+    ks->plan_n += n_links;
+    return 0;
+}
+
+/* -- journal rewind --------------------------------------------------------- */
+
+static void rewind_links(kstate *ks, int lmark)
+{
+    while (ks->jl_n > lmark) {
+        kcol *c;
+        int idx;
+        ks->jl_n--;
+        c = &ks->cols[ks->jl_link[ks->jl_n]];
+        idx = ks->jl_idx[ks->jl_n];
+        memmove(c->starts + idx, c->starts + idx + 1,
+                (size_t)(c->n - idx - 1) * sizeof(double));
+        memmove(c->finishes + idx, c->finishes + idx + 1,
+                (size_t)(c->n - idx - 1) * sizeof(double));
+        c->n--;
+    }
+}
+
+/* -- the hot loop ----------------------------------------------------------- */
+
+double ks_evaluate(kstate *ks, const int *cand, int *out_divergence,
+                   int *out_missing)
+{
+    int n = ks->n;
+    int n_procs = ks->n_procs;
+    int cut_through = ks->cut_through;
+    double hop = ks->hop;
+    int divergence, pos, p;
+    double best;
+
+    divergence = ks->n_applied;
+    for (pos = 0; pos < ks->n_applied; pos++) {
+        if (cand[pos] != ks->applied[pos]) {
+            divergence = pos;
+            break;
+        }
+    }
+    if (divergence < ks->n_applied) {
+        rewind_links(ks, ks->lmarks[divergence]);
+        while (ks->jp_n > divergence) {
+            ks->jp_n--;
+            ks->proc_finish[ks->jp_proc[ks->jp_n]] = ks->jp_fin[ks->jp_n];
+        }
+        ks->n_applied = divergence;
+    }
+    *out_divergence = divergence;
+
+    for (pos = divergence; pos < n; pos++) {
+        int pidx = cand[pos];
+        int lmark = ks->jl_n;
+        int e, e_hi;
+        double t_dr = 0.0;
+        double last_finish, task_start, finish;
+        ks->lmarks[pos] = lmark;
+        ks->applied[pos] = pidx;
+        ks->n_applied = pos + 1;
+        e_hi = ks->edge_off[pos + 1];
+        for (e = ks->edge_off[pos]; e < e_hi; e++) {
+            int src_pos = ks->edge_src[e];
+            double cost = ks->edge_cost[e];
+            double ready = ks->task_finish[src_pos];
+            int src_pidx = cand[src_pos];
+            int pair, off, plen, li;
+            double est, min_finish, arrival;
+            if (src_pidx == pidx || cost <= 0.0) {
+                if (ready > t_dr)
+                    t_dr = ready;
+                continue;
+            }
+            pair = src_pidx * n_procs + pidx;
+            off = ks->plan_off[pair];
+            if (off < 0) {
+                /* Unresolved route: undo this position's partial bookings
+                 * and hand the pair back to the caller to resolve. */
+                rewind_links(ks, lmark);
+                ks->n_applied = pos;
+                *out_missing = pair;
+                return 0.0;
+            }
+            est = ready;
+            min_finish = 0.0;
+            arrival = ready;
+            plen = ks->plan_len[pair];
+            for (li = 0; li < plen; li++) {
+                kcol *c = &ks->cols[ks->plan_link[off + li]];
+                double speed = ks->plan_speed[off + li];
+                double duration = cost / speed;
+                double floor_t = min_finish - duration;
+                double lo = est >= floor_t ? est : floor_t;
+                int n_booked = c->n;
+                double key = lo + duration;
+                double prev_finish, slot_start;
+                int i, ilo, ihi;
+                /* bisect_left(starts, lo + duration) */
+                ilo = 0;
+                ihi = n_booked;
+                while (ilo < ihi) {
+                    int mid = (ilo + ihi) / 2;
+                    if (c->starts[mid] < key)
+                        ilo = mid + 1;
+                    else
+                        ihi = mid;
+                }
+                i = ilo;
+                prev_finish = i > 0 ? c->finishes[i - 1] : 0.0;
+                for (;;) {
+                    slot_start = prev_finish > lo ? prev_finish : lo;
+                    arrival = slot_start + duration;
+                    if (i >= n_booked || arrival <= c->starts[i])
+                        break;
+                    prev_finish = c->finishes[i];
+                    i++;
+                }
+                if (col_reserve(c, c->n + 1)
+                    || grow_i(&ks->jl_link, &ks->jl_cap, ks->jl_n + 1)) {
+                    *out_missing = -2;
+                    return 0.0;
+                }
+                /* jl_idx shares jl_cap's growth schedule. */
+                {
+                    int *nb = (int *)realloc(ks->jl_idx,
+                                             (size_t)ks->jl_cap * sizeof(int));
+                    if (nb == NULL) {
+                        *out_missing = -2;
+                        return 0.0;
+                    }
+                    ks->jl_idx = nb;
+                }
+                memmove(c->starts + i + 1, c->starts + i,
+                        (size_t)(c->n - i) * sizeof(double));
+                memmove(c->finishes + i + 1, c->finishes + i,
+                        (size_t)(c->n - i) * sizeof(double));
+                c->starts[i] = slot_start;
+                c->finishes[i] = arrival;
+                c->n++;
+                ks->jl_link[ks->jl_n] = ks->plan_link[off + li];
+                ks->jl_idx[ks->jl_n] = i;
+                ks->jl_n++;
+                if (cut_through) {
+                    est = slot_start + hop;
+                    min_finish = arrival + hop;
+                } else {
+                    est = arrival + hop;
+                    min_finish = 0.0;
+                }
+            }
+            if (arrival > t_dr)
+                t_dr = arrival;
+        }
+        last_finish = ks->proc_finish[pidx];
+        ks->jp_proc[pos] = pidx;
+        ks->jp_fin[pos] = last_finish;
+        ks->jp_n = pos + 1;
+        task_start = last_finish > t_dr ? last_finish : t_dr;
+        finish = task_start + ks->exec_flat[pos * n_procs + pidx];
+        ks->proc_finish[pidx] = finish;
+        ks->task_finish[pos] = finish;
+    }
+    *out_missing = -1;
+    best = ks->proc_finish[0];
+    for (p = 1; p < n_procs; p++) {
+        if (ks->proc_finish[p] > best)
+            best = ks->proc_finish[p];
+    }
+    return best;
+}
+
+/* -- introspection (differential tests / views) ----------------------------- */
+
+int ks_max_lid(kstate *ks)
+{
+    return ks->n_cols - 1;
+}
+
+int ks_link_len(kstate *ks, int lid)
+{
+    if (lid < 0 || lid >= ks->n_cols)
+        return 0;
+    return ks->cols[lid].n;
+}
+
+void ks_read_link(kstate *ks, int lid, double *starts_out,
+                  double *finishes_out)
+{
+    kcol *c;
+    if (lid < 0 || lid >= ks->n_cols)
+        return;
+    c = &ks->cols[lid];
+    memcpy(starts_out, c->starts, (size_t)c->n * sizeof(double));
+    memcpy(finishes_out, c->finishes, (size_t)c->n * sizeof(double));
+}
+
+void ks_read_proc(kstate *ks, double *out)
+{
+    memcpy(out, ks->proc_finish, (size_t)ks->n_procs * sizeof(double));
+}
+
+double ks_makespan(kstate *ks)
+{
+    int p;
+    double best = ks->proc_finish[0];
+    for (p = 1; p < ks->n_procs; p++) {
+        if (ks->proc_finish[p] > best)
+            best = ks->proc_finish[p];
+    }
+    return best;
+}

@@ -22,6 +22,7 @@ import numpy as np
 from repro.core.ba import BAScheduler
 from repro.core.batch import BatchMappingEvaluator
 from repro.core.incremental import IncrementalMappingEvaluator
+from repro.core.kernelreg import KERNEL_CHOICES
 from repro.core.mapping import simulate_mapping
 from repro.core.schedule import Schedule
 from repro.exceptions import SchedulingError
@@ -60,6 +61,13 @@ class AnnealingScheduler:
         the :class:`~repro.core.incremental.IncrementalMappingEvaluator` on
         the object substrate.  Makespans and schedules are bit-identical
         across backends (``tests/test_batch_equivalence.py``).
+    kernel:
+        Which implementation runs the array backend's hot loop:
+        ``"auto"`` (default: the AOT-compiled extension when built, pure
+        Python otherwise), ``"python"``, or ``"compiled"`` (raise when the
+        extension is absent).  Ignored by the object backend.  Kernels are
+        bit-identical (see :mod:`repro.core.kernelreg`), so this only
+        changes wall time.
     """
 
     name = "annealing"
@@ -75,6 +83,7 @@ class AnnealingScheduler:
         rng: int | np.random.Generator | None = 0,
         incremental: bool = True,
         backend: str = "array",
+        kernel: str = "auto",
     ) -> None:
         if iterations < 1:
             raise SchedulingError(f"need at least one iteration, got {iterations}")
@@ -84,6 +93,10 @@ class AnnealingScheduler:
             raise SchedulingError(
                 f"unknown evaluation backend {backend!r}; choose 'object' or 'array'"
             )
+        if kernel not in KERNEL_CHOICES:
+            raise SchedulingError(
+                f"unknown kernel {kernel!r}; expected one of {KERNEL_CHOICES}"
+            )
         self.iterations = iterations
         self.start_temp_factor = start_temp_factor
         self.cooling = cooling
@@ -92,6 +105,7 @@ class AnnealingScheduler:
         self.rng = rng
         self.incremental = incremental
         self.backend = backend
+        self.kernel = kernel
 
     def schedule(self, graph: TaskGraph, net: NetworkTopology) -> Schedule:
         validate_graph(graph)
@@ -118,7 +132,8 @@ class AnnealingScheduler:
         if self.incremental:
             if self.backend == "array":
                 evaluator = BatchMappingEvaluator(
-                    graph, net, comm=self.comm, algorithm=self.name
+                    graph, net, comm=self.comm, algorithm=self.name,
+                    kernel=self.kernel,
                 )
             else:
                 evaluator = IncrementalMappingEvaluator(

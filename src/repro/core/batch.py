@@ -9,21 +9,26 @@ to its *representation*: every booking still built a ``TimeSlot``, updated a
 — machinery the score-only pass never reads.
 
 :class:`BatchMappingEvaluator` (the *array* backend) re-hosts the same
-suffix re-simulation on the flat column store of
-:mod:`repro.linksched.arraystate`:
+suffix re-simulation on a flat column store driven through a swappable
+**kernel** (:mod:`repro.core._kernel`, selected by
+:mod:`repro.core.kernelreg`):
 
 - Tasks are **dense order positions**, processors dense indices; a candidate
   is a flat ``list[int]`` (``cand[pos] = processor index``), so the
   candidate itself is the placement lookup table — no per-candidate dicts.
 - ``weight / speed`` divisions are precomputed per (position, processor)
-  into one flat row-major table; in-edges are ``(source position, cost)``
-  pairs fixed at construction.
-- Routes resolve once per processor pair into a **route plan**: the per-link
-  ``(starts, finishes, speed)`` column triples, so the inner loop touches no
-  topology objects.
+  into one flat row-major table; in-edges are CSR ``(source position,
+  cost)`` arrays fixed at construction.
+- Routes resolve once per processor pair into a **route plan** installed
+  into the kernel, so the inner loop touches no topology objects.  Plans
+  stay lazy: the kernel reports the first unresolved pair it hits, this
+  evaluator resolves the route (:func:`~repro.network.routing.bfs_route`)
+  and retries.
 - A booking is the object path's gap-search arithmetic verbatim (the
-  bit-identity contract) followed by two ``list.insert`` calls and a journal
-  append; a rewind pops journal entries.
+  bit-identity contract) followed by two column inserts and a journal
+  append; a rewind pops journal entries.  The loop itself lives in the
+  kernel: pure Python by default, or the AOT-built C extension when
+  present (``kernel={auto,python,compiled}``; both are bit-identical).
 
 **Batch semantics.**  :meth:`evaluate_batch` scores N candidates as one
 batch forking from a shared prefix checkpoint — the generalization of the
@@ -42,7 +47,10 @@ backend pays no per-booking instrumentation): ``mapping.evaluations``,
 ``mapping.prefix_hits``, ``mapping.suffix_tasks_resimulated`` (shared with
 the object backend), plus ``mapping.shared_prefix_tasks`` (order positions
 reused from the checkpoint), ``mapping.batch_evaluations`` /
-``mapping.batch_candidates`` (batch count and total size) and
+``mapping.batch_candidates`` (every scoring request: one increment per
+:meth:`evaluate_batch` with its population size, and one batch of size 1
+per single-candidate :meth:`evaluate` — so ``batch_candidates /
+batch_evaluations`` is the true mean batch size across a search) and
 ``mapping.identical_skips``.
 
 Scoring is bit-identical to ``simulate_mapping`` — same divisions, same gap
@@ -55,13 +63,17 @@ routes, and the winner is scheduled once per search.
 
 from __future__ import annotations
 
-from bisect import bisect_left
 from typing import Mapping, Sequence
 
+from repro.core._kernel import (
+    KernelProtocol,
+    LinkStateView,
+    ProcStateView,
+)
+from repro.core.kernelreg import KernelInfo, resolve_kernel
 from repro.core.mapping import simulate_mapping
 from repro.core.schedule import Schedule
 from repro.exceptions import SchedulingError
-from repro.linksched.arraystate import ArrayLinkState, ArrayProcState
 from repro.linksched.commmodel import CUT_THROUGH, CommModel
 from repro.network.routing import bfs_route
 from repro.network.topology import NetworkTopology
@@ -69,9 +81,6 @@ from repro.obs import OBS
 from repro.taskgraph.graph import TaskGraph
 from repro.taskgraph.priorities import priority_list
 from repro.types import TaskId, VertexId
-
-#: One route link's scoring view: its two booking columns plus speed.
-_LinkPlan = tuple[list[float], list[float], float]
 
 #: Score-cache keys: packed bytes for <=256 processors, tuples beyond.
 _CacheKey = bytes | tuple[int, ...]
@@ -86,10 +95,12 @@ class BatchMappingEvaluator:
 
     Construction fixes the graph, network, communication model and task
     order (defaulting to the bottom-level priority list, like
-    ``simulate_mapping``).  :meth:`evaluate` scores one candidate,
-    :meth:`evaluate_batch` a population, :meth:`schedule` materializes the
-    chosen mapping through the object path.  The evaluator owns live column
-    state shared across calls, so it must not be used concurrently.
+    ``simulate_mapping``), and resolves the scoring kernel
+    (``kernel={auto,python,compiled}``; see :mod:`repro.core.kernelreg`).
+    :meth:`evaluate` scores one candidate, :meth:`evaluate_batch` a
+    population, :meth:`schedule` materializes the chosen mapping through
+    the object path.  The evaluator owns live column state shared across
+    calls, so it must not be used concurrently.
 
     Like the object backend, per-candidate validation is lazy: a mapping
     that misses a task or maps one to a non-processor raises when first
@@ -107,6 +118,7 @@ class BatchMappingEvaluator:
         order: Sequence[TaskId] | None = None,
         comm: CommModel = CUT_THROUGH,
         algorithm: str = "mapping",
+        kernel: str = "auto",
     ) -> None:
         task_order = list(order) if order is not None else priority_list(graph)
         if sorted(task_order) != sorted(t.tid for t in graph.tasks()):
@@ -128,37 +140,38 @@ class BatchMappingEvaluator:
         pos_of = {tid: i for i, tid in enumerate(task_order)}
         # Static per-position facts.  ``exec_flat[pos * P + pidx]`` keeps the
         # object path's ``weight / speed`` division (never rewritten as a
-        # multiplication by the inverse — that rounds differently).
+        # multiplication by the inverse — that rounds differently).  In-edges
+        # are CSR arrays: position ``pos``'s predecessors (sorted by source
+        # task id) live at ``edge_src/edge_cost[edge_off[pos] :
+        # edge_off[pos + 1]]``.
         exec_flat: list[float] = []
-        in_edges: list[tuple[tuple[int, float], ...]] = []
+        edge_src: list[int] = []
+        edge_cost: list[float] = []
+        edge_off: list[int] = [0]
         for tid in task_order:
             weight = graph.task(tid).weight
             exec_flat.extend(weight / p.speed for p in procs)
-            edges = tuple(
-                (pos_of[e.src], e.cost)
-                for e in sorted(graph.in_edges(tid), key=lambda e: e.src)
-            )
-            for _src_pos, cost in edges:
-                if cost < 0:
-                    raise SchedulingError(f"negative communication cost {cost}")
-            in_edges.append(edges)
-        self._exec_flat = exec_flat
-        self._in_edges = in_edges
-        #: route plans per ``src_pidx * P + dst_pidx``, resolved lazily
-        self._route_plans: list[list[_LinkPlan] | None] = [None] * (n_procs * n_procs)
-        self._lstate = ArrayLinkState()
-        self._pstate = ArrayProcState(n_procs)
-        #: finish time per order position of the last simulated candidate.
-        #: Overwritten in order during re-simulation, so positions >= the
-        #: divergence point are always rewritten before being read — no
-        #: journal needed.
-        self._task_finish: list[float] = [0.0] * n
-        #: dense processor index applied at each simulated order position
-        self._applied: list[int] = []
-        #: link-journal snapshot captured just before each position; the
-        #: processor journal needs no marks — it holds exactly one entry per
-        #: position, so its mark at position ``p`` is ``p``.
-        self._lmarks: list[int] = []
+            for e in sorted(graph.in_edges(tid), key=lambda e: e.src):
+                if e.cost < 0:
+                    raise SchedulingError(f"negative communication cost {e.cost}")
+                edge_src.append(pos_of[e.src])
+                edge_cost.append(e.cost)
+            edge_off.append(len(edge_src))
+        factory, info = resolve_kernel(kernel)
+        self.kernel_info: KernelInfo = info
+        #: the active kernel variant ("python" or "compiled"), for
+        #: ``repro profile`` / ``--stats`` / ledger fingerprints
+        self.kernel: str = info.active
+        self._k: KernelProtocol = factory(
+            n,
+            n_procs,
+            exec_flat,
+            edge_src,
+            edge_cost,
+            edge_off,
+            comm.mode == "cut-through",
+            comm.hop_delay,
+        )
         #: reusable mapping->dense conversion buffer
         self._buf: list[int] = [0] * n
         self._scores: dict[_CacheKey, float] = {}
@@ -166,18 +179,15 @@ class BatchMappingEvaluator:
 
     # -- internals -----------------------------------------------------------
 
-    def _route_plan(self, src_pidx: int, dst_pidx: int) -> list[_LinkPlan]:
-        """Resolve (once) a processor pair's route into column triples."""
+    def _resolve_plan(self, pair: int) -> None:
+        """Resolve (once) a processor pair's route and install it."""
+        src_pidx, dst_pidx = divmod(pair, self._n_procs)
         route = bfs_route(
             self._net, self._proc_vids[src_pidx], self._proc_vids[dst_pidx]
         )
-        columns = self._lstate.columns
-        plan: list[_LinkPlan] = []
-        for link in route:
-            starts, finishes = columns(link.lid)
-            plan.append((starts, finishes, link.speed))
-        self._route_plans[src_pidx * self._n_procs + dst_pidx] = plan
-        return plan
+        lids = [link.lid for link in route]
+        speeds = [link.speed for link in route]
+        self._k.set_plan(pair, lids, speeds)
 
     def dense(self, mapping: Mapping[TaskId, VertexId]) -> list[int]:
         """``mapping`` as a dense genome: processor index per order position."""
@@ -194,100 +204,18 @@ class BatchMappingEvaluator:
                     ) from None
             raise  # pragma: no cover - unreachable: one branch above fired
 
-    def _resimulate(self, cand: list[int], start: int) -> None:
-        """Simulate order positions ``start..n`` onto the columns.
-
-        The booking arithmetic is ``LinkScheduleState.book_edge_basic``
-        verbatim — inlined bisect gap search, ``cost / speed`` durations,
-        cut-through vs store-and-forward constraint propagation — minus the
-        object bookkeeping.  Positions ``< start`` must already agree with
-        ``cand`` (the caller rewound to the shared prefix).
-        """
-        n = self._n
-        n_procs = self._n_procs
-        in_edges = self._in_edges
-        exec_flat = self._exec_flat
-        task_finish = self._task_finish
-        route_plans = self._route_plans
-        lstate = self._lstate
-        journal_starts = lstate.journal_starts
-        journal_finishes = lstate.journal_finishes
-        journal_index = lstate.journal_index
-        lmarks = self._lmarks
-        pstate = self._pstate
-        proc_finish = pstate.finish
-        journal_proc = pstate.journal_proc
-        journal_old = pstate.journal_finish
-        applied = self._applied
-        comm = self._comm
-        cut_through = comm.mode == "cut-through"
-        hop = comm.hop_delay
-        for pos in range(start, n):
-            pidx = cand[pos]
-            lmarks.append(len(journal_index))
-            applied.append(pidx)
-            t_dr = 0.0
-            for src_pos, cost in in_edges[pos]:
-                ready = task_finish[src_pos]
-                src_pidx = cand[src_pos]
-                if src_pidx == pidx or cost <= 0.0:
-                    if ready > t_dr:
-                        t_dr = ready
-                    continue
-                plan = route_plans[src_pidx * n_procs + pidx]
-                if plan is None:
-                    plan = self._route_plan(src_pidx, pidx)
-                est = ready
-                min_finish = 0.0
-                arrival = ready
-                # repro-lint note: iterating the *plan* (one entry per route
-                # link) is the per-link walk of the reference algorithm; the
-                # column arrays themselves are only touched via bisect and
-                # point inserts below.
-                for starts, finishes, speed in plan:
-                    duration = cost / speed
-                    floor = min_finish - duration
-                    lo = est if est >= floor else floor
-                    n_booked = len(starts)
-                    i = bisect_left(starts, lo + duration)
-                    prev_finish = finishes[i - 1] if i > 0 else 0.0
-                    while True:
-                        slot_start = prev_finish if prev_finish > lo else lo
-                        arrival = slot_start + duration
-                        if i >= n_booked or arrival <= starts[i]:
-                            break
-                        prev_finish = finishes[i]
-                        i += 1
-                    starts.insert(i, slot_start)
-                    finishes.insert(i, arrival)
-                    journal_starts.append(starts)
-                    journal_finishes.append(finishes)
-                    journal_index.append(i)
-                    if cut_through:
-                        est = slot_start + hop
-                        min_finish = arrival + hop
-                    else:
-                        est = arrival + hop
-                        min_finish = 0.0
-                if arrival > t_dr:
-                    t_dr = arrival
-            last_finish = proc_finish[pidx]
-            journal_proc.append(pidx)
-            journal_old.append(last_finish)
-            task_start = last_finish if last_finish > t_dr else t_dr
-            finish = task_start + exec_flat[pos * n_procs + pidx]
-            proc_finish[pidx] = finish
-            task_finish[pos] = finish
-
     # -- public API ----------------------------------------------------------
 
     def evaluate_dense(self, cand: list[int]) -> float:
         """Makespan of a dense genome — bit-identical to the object path.
 
         Rewinds the live columns to the longest prefix shared with the
-        previously evaluated genome and re-simulates only the suffix.
-        Previously seen genomes return their cached score without touching
-        the columns at all.
+        previously evaluated genome and re-simulates only the suffix (both
+        inside the kernel).  Previously seen genomes return their cached
+        score without touching the columns at all.  A kernel stop on an
+        unresolved route plan resolves the route here and retries; the
+        retry resumes after the already-simulated prefix, so the counters
+        below still reflect the first call's true divergence point.
         """
         key: _CacheKey = bytes(cand) if self._pack_keys else tuple(cand)
         scores = self._scores
@@ -297,17 +225,10 @@ class BatchMappingEvaluator:
                 OBS.metrics.counter("mapping.evaluations").inc()
                 OBS.metrics.counter("mapping.identical_skips").inc()
             return hit
-        applied = self._applied
-        divergence = len(applied)
-        for pos in range(divergence):
-            if cand[pos] != applied[pos]:
-                divergence = pos
-                break
-        if divergence < len(applied):
-            self._lstate.restore(self._lmarks[divergence])
-            self._pstate.restore(divergence)
-            del self._lmarks[divergence:]
-            del applied[divergence:]
+        span, divergence, missing = self._k.evaluate(cand)
+        while missing >= 0:
+            self._resolve_plan(missing)
+            span, _retry_div, missing = self._k.evaluate(cand)
         if OBS.on:
             metrics = OBS.metrics
             metrics.counter("mapping.evaluations").inc()
@@ -317,15 +238,21 @@ class BatchMappingEvaluator:
             resimulated = self._n - divergence
             if resimulated:
                 metrics.counter("mapping.suffix_tasks_resimulated").inc(resimulated)
-        self._resimulate(cand, divergence)
-        span = self._pstate.makespan()
         if len(scores) >= _CACHE_LIMIT:
             scores.clear()
         scores[key] = span
         return span
 
     def evaluate(self, mapping: Mapping[TaskId, VertexId]) -> float:
-        """Makespan of one candidate mapping (see :meth:`evaluate_dense`)."""
+        """Makespan of one candidate mapping (see :meth:`evaluate_dense`).
+
+        Counted as a batch of size 1 (``mapping.batch_evaluations`` /
+        ``mapping.batch_candidates``), so single-candidate searches like
+        annealing report a truthful mean batch size instead of 0.
+        """
+        if OBS.on:
+            OBS.metrics.counter("mapping.batch_evaluations").inc()
+            OBS.metrics.counter("mapping.batch_candidates").inc()
         buf = self._buf
         vid_to_pidx = self._vid_to_pidx
         order = self._order
@@ -378,11 +305,11 @@ class BatchMappingEvaluator:
     # -- introspection (differential tests) ----------------------------------
 
     @property
-    def link_state(self) -> ArrayLinkState:
+    def link_state(self) -> LinkStateView:
         """The live link columns (read-only use: differential tests)."""
-        return self._lstate
+        return self._k.link_state
 
     @property
-    def proc_state(self) -> ArrayProcState:
+    def proc_state(self) -> ProcStateView:
         """The live processor column (read-only use: differential tests)."""
-        return self._pstate
+        return self._k.proc_state

@@ -14,6 +14,7 @@ import numpy as np
 from repro.core.ba import BAScheduler
 from repro.core.batch import BatchMappingEvaluator
 from repro.core.incremental import IncrementalMappingEvaluator
+from repro.core.kernelreg import KERNEL_CHOICES
 from repro.core.mapping import simulate_mapping
 from repro.core.schedule import Schedule
 from repro.exceptions import SchedulingError
@@ -43,6 +44,7 @@ class GeneticScheduler:
         rng: int | np.random.Generator | None = 0,
         incremental: bool = True,
         backend: str = "array",
+        kernel: str = "auto",
     ) -> None:
         if population < 2:
             raise SchedulingError(f"population must be >= 2, got {population}")
@@ -55,6 +57,10 @@ class GeneticScheduler:
         if backend not in ("object", "array"):
             raise SchedulingError(
                 f"unknown evaluation backend {backend!r}; choose 'object' or 'array'"
+            )
+        if kernel not in KERNEL_CHOICES:
+            raise SchedulingError(
+                f"unknown kernel {kernel!r}; expected one of {KERNEL_CHOICES}"
             )
         self.population = population
         self.generations = generations
@@ -73,6 +79,9 @@ class GeneticScheduler:
         #: scores candidates one-by-one on the object substrate.  Scores
         #: and schedules are bit-identical across backends.
         self.backend = backend
+        #: array-backend hot-loop implementation (``auto``/``python``/
+        #: ``compiled``); bit-identical by contract, wall-time only
+        self.kernel = kernel
 
     def schedule(self, graph: TaskGraph, net: NetworkTopology) -> Schedule:
         validate_graph(graph)
@@ -97,7 +106,8 @@ class GeneticScheduler:
         if self.incremental:
             if self.backend == "array":
                 evaluator = BatchMappingEvaluator(
-                    graph, net, comm=self.comm, algorithm=self.name
+                    graph, net, comm=self.comm, algorithm=self.name,
+                    kernel=self.kernel,
                 )
             else:
                 evaluator = IncrementalMappingEvaluator(

@@ -1,141 +1,17 @@
-"""Array-native link/processor state for batched mapping evaluation.
+"""Array-native link/processor state (re-export of the kernel module).
 
-The object substrate (:mod:`repro.linksched.state`) keeps each link's
-bookings as a list of immutable :class:`~repro.linksched.slots.TimeSlot`
-records plus derived indexes (``by_edge``, version counters) — the right
-shape for the one-pass schedulers, which need per-edge lookup, routes and
-rollback-safe memo keys.  The mapping-search schedulers need none of that on
-their scoring path: they only ever *insert* slots, *rewind* to a shared
-prefix checkpoint, and read the final processor finish times.  Carrying the
-full object machinery through ~10⁵ bookings per search run is pure overhead.
-
-This module is the stripped-down column store those scoring passes run on:
-
-- :class:`ArrayLinkState` — per link, two plain parallel float columns
-  (``starts``/``finishes``; ``starts[i]``/``finishes[i]`` are one booking).
-  No slot objects, no edge index, no version counters: a booking is two
-  ``list.insert`` calls.  A positional **journal** (three more parallel
-  columns: queue refs + insert index) records every insert so any earlier
-  state is a restorable checkpoint.
-- :class:`ArrayProcState` — dense per-processor finish-time column with the
-  same journal treatment.
-
-``snapshot()`` returns the current journal length; ``restore(mark)`` pops
-journal entries newest-first, deleting each booking from its columns, then
-the journal columns themselves shrink back by slicing.  Cost is O(bookings
-undone), independent of queue lengths — the array analogue of the object
-state's :meth:`~repro.linksched.state.LinkScheduleState.rollback_to`.
-
-The batched evaluator (:mod:`repro.core.batch`) appends to these columns
-directly from its fused inner loop; the methods here exist for setup,
-checkpointing and the differential tests.  Everything is scoring-only: to
-materialize a full :class:`~repro.core.schedule.Schedule` the evaluator
-re-runs the winning mapping through the object path, which the differential
-suite proves bit-identical.
+The flat column stores that back batched mapping evaluation —
+:class:`ArrayLinkState` (per-link parallel ``starts``/``finishes`` float
+columns with a positional insert journal) and :class:`ArrayProcState`
+(dense finish column, same journal treatment) — moved to
+:mod:`repro.core._kernel` so the whole compilable hot loop lives in one
+module (the one the optional AOT build compiles; see
+``docs/performance.md``).  This module remains the stable import path for
+linksched users and keeps the classes inside the ARR001/KER lint scope.
 """
 
 from __future__ import annotations
 
-from repro.exceptions import SchedulingError
-from repro.types import LinkId
+from repro.core._kernel import ArrayLinkState, ArrayProcState, LinkColumns
 
-#: One link's bookings: parallel ``(starts, finishes)`` float columns,
-#: sorted by start time (the gap search inserts in order).
-LinkColumns = tuple[list[float], list[float]]
-
-
-class ArrayLinkState:
-    """Flat per-link booking columns with a positional undo journal.
-
-    Attributes are public on purpose: the batched evaluator's hot loop
-    appends to the journal columns directly instead of paying a method call
-    per booking.  The invariant it must maintain is the one :meth:`restore`
-    relies on: for every booking, ``journal_starts[k][journal_index[k]]`` /
-    ``journal_finishes[k][journal_index[k]]`` is the inserted entry, and
-    entries are journaled in insertion order.
-    """
-
-    __slots__ = ("_columns", "journal_starts", "journal_finishes", "journal_index")
-
-    def __init__(self) -> None:
-        self._columns: dict[LinkId, LinkColumns] = {}
-        #: journal columns, parallel: the two queue columns written and the
-        #: index written at.  ``restore`` pops them newest-first.
-        self.journal_starts: list[list[float]] = []
-        self.journal_finishes: list[list[float]] = []
-        self.journal_index: list[int] = []
-
-    def columns(self, lid: LinkId) -> LinkColumns:
-        """The ``(starts, finishes)`` columns of ``lid``, created on first use.
-
-        Callers keep the returned list references (e.g. in a per-route plan)
-        — the columns are mutated in place, never replaced, so the refs stay
-        valid for the state's lifetime.
-        """
-        cols = self._columns.get(lid)
-        if cols is None:
-            cols = ([], [])
-            self._columns[lid] = cols
-        return cols
-
-    def booked_links(self) -> list[LinkId]:
-        """Link ids with at least one live booking, ascending."""
-        return sorted(lid for lid, (s, _f) in self._columns.items() if s)
-
-    def snapshot(self) -> int:
-        """The current journal position; pass to :meth:`restore`."""
-        return len(self.journal_index)
-
-    def restore(self, mark: int) -> None:
-        """Rewind all columns to an earlier :meth:`snapshot` (O(undone))."""
-        journal_index = self.journal_index
-        if not 0 <= mark <= len(journal_index):
-            raise SchedulingError(
-                f"snapshot mark {mark} out of range [0, {len(journal_index)}]"
-            )
-        journal_starts = self.journal_starts
-        journal_finishes = self.journal_finishes
-        while len(journal_index) > mark:
-            i = journal_index.pop()
-            del journal_starts.pop()[i]
-            del journal_finishes.pop()[i]
-
-
-class ArrayProcState:
-    """Dense per-processor finish-time column with a positional journal.
-
-    The scoring pass books tasks in append mode (``start = max(processor's
-    last finish, data-ready)``), so one float per processor — the running
-    finish time — is the whole processor state.  The journal records the
-    overwritten ``(processor, old finish)`` pair per placement.
-    """
-
-    __slots__ = ("finish", "journal_proc", "journal_finish")
-
-    def __init__(self, n_procs: int) -> None:
-        if n_procs < 1:
-            raise SchedulingError(f"need at least one processor, got {n_procs}")
-        #: finish time of the last task placed on each dense processor index
-        self.finish: list[float] = [0.0] * n_procs
-        self.journal_proc: list[int] = []
-        self.journal_finish: list[float] = []
-
-    def snapshot(self) -> int:
-        """The current journal position; pass to :meth:`restore`."""
-        return len(self.journal_proc)
-
-    def restore(self, mark: int) -> None:
-        """Rewind the finish column to an earlier :meth:`snapshot`."""
-        journal_proc = self.journal_proc
-        if not 0 <= mark <= len(journal_proc):
-            raise SchedulingError(
-                f"snapshot mark {mark} out of range [0, {len(journal_proc)}]"
-            )
-        journal_finish = self.journal_finish
-        finish = self.finish
-        while len(journal_proc) > mark:
-            finish[journal_proc.pop()] = journal_finish.pop()
-
-    def makespan(self) -> float:
-        """Completion time of the busiest processor (0 when all idle)."""
-        return max(self.finish)
+__all__ = ["ArrayLinkState", "ArrayProcState", "LinkColumns"]

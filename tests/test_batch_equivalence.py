@@ -22,6 +22,12 @@ never approximate) three-way comparison on Hypothesis-generated inputs:
    (same RNG draws, same trajectory);
 6. validation parity on broken mappings, and the batch / identical-skip
    counters.
+
+The differential classes are parametrized over ``kernel`` — the pure-Python
+reference and, when the AOT extension is built (skipped otherwise), the
+compiled hot loop — so the same Hypothesis inputs that prove the reference
+against the naive simulator also prove the C translation bit-identical to
+the reference.
 """
 
 from __future__ import annotations
@@ -36,6 +42,7 @@ from repro.core.batch import BatchMappingEvaluator
 from repro.core.genetic import GeneticScheduler
 from repro.core.incremental import IncrementalMappingEvaluator
 from repro.core.mapping import simulate_mapping
+from repro.core.kernelreg import compiled_available
 from repro.exceptions import SchedulingError
 from repro.linksched.commmodel import CUT_THROUGH, STORE_AND_FORWARD
 from repro.network.builders import (
@@ -77,6 +84,21 @@ topologies = st.one_of(
 )
 
 comm_models = st.sampled_from([CUT_THROUGH, STORE_AND_FORWARD])
+
+#: kernel axis of the differential classes: always the pure-Python
+#: reference; the AOT-built kernel too when importable (skip, not xfail —
+#: toolchain-free machines are a supported configuration).
+KERNELS = [
+    pytest.param("python", id="pykernel"),
+    pytest.param(
+        "compiled",
+        id="ckernel",
+        marks=pytest.mark.skipif(
+            not compiled_available(),
+            reason="repro.core._kernel_c extension not built",
+        ),
+    ),
+]
 
 #: a candidate stream: the initial assignment plus a walk of edits (same
 #: generator as ``test_incremental_equivalence`` — single-task moves, full
@@ -139,6 +161,7 @@ def _assert_columns_match_schedule(evaluator, net, ref):
     assert evaluator.proc_state.finish == expected
 
 
+@pytest.mark.parametrize("kernel", KERNELS)
 class TestEvaluateDifferential:
     @DIFF
     @given(
@@ -148,8 +171,8 @@ class TestEvaluateDifferential:
         init_sel=st.integers(0, 10**6),
         walk=walks,
     )
-    def test_candidate_stream_three_way(self, graph, net, comm, init_sel, walk):
-        array_ev = BatchMappingEvaluator(graph, net, comm=comm)
+    def test_candidate_stream_three_way(self, kernel, graph, net, comm, init_sel, walk):
+        array_ev = BatchMappingEvaluator(graph, net, comm=comm, kernel=kernel)
         object_ev = IncrementalMappingEvaluator(graph, net, comm=comm)
         for mapping in _mappings_for(graph, net, init_sel, walk):
             expected = simulate_mapping(graph, net, mapping, comm=comm).makespan
@@ -164,9 +187,11 @@ class TestEvaluateDifferential:
         init_sel=st.integers(0, 10**6),
         walk=walks,
     )
-    def test_batch_matches_sequential_naive(self, graph, net, comm, init_sel, walk):
+    def test_batch_matches_sequential_naive(
+        self, kernel, graph, net, comm, init_sel, walk
+    ):
         stream = _mappings_for(graph, net, init_sel, walk)
-        evaluator = BatchMappingEvaluator(graph, net, comm=comm)
+        evaluator = BatchMappingEvaluator(graph, net, comm=comm, kernel=kernel)
         scores = evaluator.evaluate_batch(stream)
         expected = [
             simulate_mapping(graph, net, m, comm=comm).makespan for m in stream
@@ -181,10 +206,10 @@ class TestEvaluateDifferential:
         init_sel=st.integers(0, 10**6),
         walk=walks,
     )
-    def test_columns_match_object_slots(self, graph, net, comm, init_sel, walk):
+    def test_columns_match_object_slots(self, kernel, graph, net, comm, init_sel, walk):
         """After a stream, the flat columns equal the object queues slot by slot."""
         stream = _mappings_for(graph, net, init_sel, walk)
-        evaluator = BatchMappingEvaluator(graph, net, comm=comm)
+        evaluator = BatchMappingEvaluator(graph, net, comm=comm, kernel=kernel)
         for mapping in stream:
             evaluator.evaluate(mapping)
         # The columns hold the state of the last *simulated* candidate; a
@@ -203,14 +228,14 @@ class TestEvaluateDifferential:
 
     @WORST
     @given(graph=graphs, net=topologies, comm=comm_models, seed=st.integers(0, 10**6))
-    def test_divergence_at_position_zero(self, graph, net, comm, seed):
+    def test_divergence_at_position_zero(self, kernel, graph, net, comm, seed):
         """Worst case: every candidate invalidates the whole prefix."""
         order = priority_list(graph)
         procs = sorted(p.vid for p in net.processors())
         base = {tid: procs[(seed + i) % len(procs)] for i, tid in enumerate(order)}
         moved = dict(base)
         moved[order[0]] = procs[(procs.index(base[order[0]]) + 1) % len(procs)]
-        evaluator = BatchMappingEvaluator(graph, net, comm=comm)
+        evaluator = BatchMappingEvaluator(graph, net, comm=comm, kernel=kernel)
         for mapping in (base, moved, base, moved):
             expected = simulate_mapping(graph, net, mapping, comm=comm).makespan
             assert evaluator.evaluate(mapping) == expected
@@ -224,10 +249,10 @@ class TestEvaluateDifferential:
         walk=walks,
     )
     def test_materialized_schedule_matches_slot_by_slot(
-        self, graph, net, comm, init_sel, walk
+        self, kernel, graph, net, comm, init_sel, walk
     ):
         stream = _mappings_for(graph, net, init_sel, walk)
-        evaluator = BatchMappingEvaluator(graph, net, comm=comm)
+        evaluator = BatchMappingEvaluator(graph, net, comm=comm, kernel=kernel)
         evaluator.evaluate_batch(stream)
         final = stream[len(walk) // 2]
         _assert_schedules_equal(
@@ -236,19 +261,25 @@ class TestEvaluateDifferential:
 
 
 class TestSchedulerBackendParity:
+    @pytest.mark.parametrize("kernel", KERNELS)
     @SCHED
     @given(graph=graphs, net=topologies, seed=st.integers(0, 500))
-    def test_annealing_array_matches_object(self, graph, net, seed):
+    def test_annealing_array_matches_object(self, kernel, graph, net, seed):
         kwargs = dict(iterations=40, rng=seed)
-        arr = AnnealingScheduler(backend="array", **kwargs).schedule(graph, net)
+        arr = AnnealingScheduler(backend="array", kernel=kernel, **kwargs).schedule(
+            graph, net
+        )
         obj = AnnealingScheduler(backend="object", **kwargs).schedule(graph, net)
         _assert_schedules_equal(arr, obj)
 
+    @pytest.mark.parametrize("kernel", KERNELS)
     @SCHED
     @given(graph=graphs, net=topologies, seed=st.integers(0, 500))
-    def test_genetic_array_matches_object(self, graph, net, seed):
+    def test_genetic_array_matches_object(self, kernel, graph, net, seed):
         kwargs = dict(population=6, generations=3, rng=seed)
-        arr = GeneticScheduler(backend="array", **kwargs).schedule(graph, net)
+        arr = GeneticScheduler(backend="array", kernel=kernel, **kwargs).schedule(
+            graph, net
+        )
         obj = GeneticScheduler(backend="object", **kwargs).schedule(graph, net)
         _assert_schedules_equal(arr, obj)
 

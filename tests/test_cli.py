@@ -94,6 +94,75 @@ class TestScheduleStats:
         assert "wrote decision-event log" in capsys.readouterr().out
 
 
+class TestEvalKernel:
+    """The ``--eval-kernel`` switch: selection, stats surface, and guards."""
+
+    def test_python_kernel_shown_in_stats(self, capsys):
+        assert (
+            main(
+                [
+                    "schedule", "--algorithm", "annealing", "--tasks", "8",
+                    "--procs", "4", "--eval-kernel", "python", "--stats",
+                    "--no-gantt",
+                ]
+            )
+            == 0
+        )
+        assert "evaluation backend: array, kernel: python" in capsys.readouterr().out
+
+    def test_auto_resolution_shown_in_stats(self, capsys):
+        from repro.core.kernelreg import active_kernel
+
+        assert (
+            main(
+                [
+                    "schedule", "--algorithm", "annealing", "--tasks", "8",
+                    "--procs", "4", "--stats", "--no-gantt",
+                ]
+            )
+            == 0
+        )
+        expected = f"kernel: {active_kernel('auto')}"
+        assert expected in capsys.readouterr().out
+
+    def test_rejected_for_non_search_algorithms(self, capsys):
+        assert (
+            main(
+                [
+                    "schedule", "--algorithm", "oihsa", "--tasks", "8",
+                    "--eval-kernel", "python", "--no-gantt",
+                ]
+            )
+            == 2
+        )
+        assert "mapping-search" in capsys.readouterr().out
+
+    def test_rejected_for_object_backend(self, capsys):
+        assert (
+            main(
+                [
+                    "schedule", "--algorithm", "annealing", "--tasks", "8",
+                    "--backend", "object", "--eval-kernel", "python",
+                    "--no-gantt",
+                ]
+            )
+            == 2
+        )
+        assert "array backend" in capsys.readouterr().out
+
+    def test_profile_shows_kernel_in_backend_column(self, capsys):
+        assert (
+            main(
+                [
+                    "profile", "--scale", "smoke", "--algorithms", "annealing",
+                    "--eval-kernel", "python",
+                ]
+            )
+            == 0
+        )
+        assert "array/python" in capsys.readouterr().out
+
+
 class TestProfile:
     def test_smoke_breakdown_table(self, capsys):
         assert (

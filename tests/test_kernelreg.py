@@ -1,0 +1,173 @@
+"""Kernel registry: resolution, fallback observability, and provenance.
+
+The differential suite (``test_batch_equivalence``) proves the kernels
+bit-identical; this module covers the *selection* machinery of
+:mod:`repro.core.kernelreg` — the three ``kernel=`` values, the observable
+auto-fallback, and the provenance surfaced to ledgers and benches.  Tests
+simulate both extension states (built / absent) by monkeypatching the
+probe cache, so the whole module runs on toolchain-free machines.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import pytest
+
+from repro import obs
+from repro.core import kernelreg
+from repro.core._kernel import PyKernel
+from repro.core.annealing import AnnealingScheduler
+from repro.core.batch import BatchMappingEvaluator
+from repro.core.genetic import GeneticScheduler
+from repro.core.kernelreg import (
+    KERNEL_CHOICES,
+    active_kernel,
+    compiled_available,
+    kernel_provenance,
+    resolve_kernel,
+)
+from repro.exceptions import SchedulingError
+from repro.network.builders import fully_connected
+from repro.obs import OBS
+from repro.taskgraph.generators import random_layered_dag
+
+
+@pytest.fixture
+def no_extension(monkeypatch):
+    """Simulate a toolchain-free machine: the probe finds no extension."""
+    monkeypatch.setattr(kernelreg, "_probed", True)
+    monkeypatch.setattr(kernelreg, "_compiled_factory", None)
+
+
+@pytest.fixture
+def fake_extension(monkeypatch):
+    """Simulate a built extension (the reference kernel stands in for it)."""
+    monkeypatch.setattr(kernelreg, "_probed", True)
+    monkeypatch.setattr(kernelreg, "_compiled_factory", PyKernel)
+
+
+def _workload():
+    return random_layered_dag(8, rng=3, density=0.4), fully_connected(3, rng=3)
+
+
+class TestResolution:
+    def test_unknown_kernel_rejected_everywhere(self):
+        for call in (resolve_kernel, active_kernel):
+            with pytest.raises(SchedulingError, match="unknown kernel"):
+                call("columnar")
+        graph, net = _workload()
+        with pytest.raises(SchedulingError, match="unknown kernel"):
+            BatchMappingEvaluator(graph, net, kernel="columnar")
+        with pytest.raises(SchedulingError, match="unknown kernel"):
+            AnnealingScheduler(kernel="columnar")
+        with pytest.raises(SchedulingError, match="unknown kernel"):
+            GeneticScheduler(kernel="columnar")
+
+    def test_python_always_resolves(self, no_extension):
+        factory, info = resolve_kernel("python")
+        assert factory is PyKernel
+        assert (info.requested, info.active, info.fallback) == ("python", "python", False)
+        assert not info.compiled_available
+
+    def test_explicit_compiled_raises_when_absent(self, no_extension):
+        with pytest.raises(SchedulingError, match="not built"):
+            resolve_kernel("compiled")
+        assert active_kernel("compiled") == "compiled"  # names, not availability
+
+    def test_auto_prefers_compiled_when_available(self, fake_extension):
+        factory, info = resolve_kernel("auto")
+        assert factory is PyKernel  # the stand-in
+        assert (info.active, info.fallback) == ("compiled", False)
+        assert compiled_available()
+        assert active_kernel("auto") == "compiled"
+
+    def test_auto_falls_back_when_absent(self, no_extension):
+        factory, info = resolve_kernel("auto")
+        assert factory is PyKernel
+        assert (info.requested, info.active, info.fallback) == ("auto", "python", True)
+        assert active_kernel("auto") == "python"
+
+    def test_choices_are_cli_surface(self):
+        assert KERNEL_CHOICES == ("auto", "python", "compiled")
+
+
+class TestFallbackObservability:
+    def test_auto_fallback_bumps_counter(self, no_extension):
+        obs.enable()
+        obs.reset()
+        try:
+            resolve_kernel("auto")
+            assert OBS.metrics.counter("kernel.auto_fallbacks").value == 1
+            # Explicit python is not a fallback: no bump.
+            resolve_kernel("python")
+            assert OBS.metrics.counter("kernel.auto_fallbacks").value == 1
+        finally:
+            obs.disable()
+
+    def test_evaluator_fallback_recorded_in_stats(self, no_extension):
+        graph, net = _workload()
+        procs = sorted(p.vid for p in net.processors())
+        obs.enable()
+        obs.reset()
+        try:
+            evaluator = BatchMappingEvaluator(graph, net, kernel="auto")
+            evaluator.evaluate({t.tid: procs[0] for t in graph.tasks()})
+            assert evaluator.kernel == "python"
+            assert evaluator.kernel_info.fallback
+            counters = obs.METRICS.snapshot()["counters"]
+            assert counters.get("kernel.auto_fallbacks") == 1
+        finally:
+            obs.disable()
+
+
+class TestProvenance:
+    def test_provenance_shape(self, no_extension):
+        doc = kernel_provenance("auto")
+        assert doc == {
+            "requested": "auto",
+            "active": "python",
+            "compiled_available": False,
+        }
+
+    def test_provenance_carries_build_meta_when_compiled(self):
+        if not compiled_available():
+            pytest.skip("repro.core._kernel_c extension not built")
+        doc = kernel_provenance("auto")
+        assert doc["active"] == "compiled"
+        meta = doc.get("build")
+        # The sidecar is written by kernel_build; an extension built some
+        # other way legitimately has none.
+        if meta is not None:
+            assert meta["variant"] == "compiled"
+            assert "source_sha256" in meta
+
+    def test_evaluator_records_kernel(self):
+        graph, net = _workload()
+        evaluator = BatchMappingEvaluator(graph, net, kernel="python")
+        assert evaluator.kernel == "python"
+        assert evaluator.kernel_info.requested == "python"
+
+
+class TestBitIdentity:
+    """Checksum-level identity of the score streams (the bench's CI gate)."""
+
+    def test_score_stream_checksums_match(self):
+        if not compiled_available():
+            pytest.skip("repro.core._kernel_c extension not built")
+        graph, net = _workload()
+        procs = sorted(p.vid for p in net.processors())
+        tasks = sorted(t.tid for t in graph.tasks())
+        stream = [
+            {tid: procs[(seed + i) % len(procs)] for i, tid in enumerate(tasks)}
+            for seed in range(12)
+        ]
+
+        def digest(kernel: str) -> str:
+            evaluator = BatchMappingEvaluator(graph, net, kernel=kernel)
+            scores = [evaluator.evaluate(m) for m in stream]
+            return hashlib.sha256(
+                "\n".join(repr(s) for s in scores).encode()
+            ).hexdigest()
+
+        assert digest("python") == digest("compiled")
